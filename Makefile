@@ -1,0 +1,40 @@
+# ParaCOSM reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/concurrent/ ./internal/graph/ .
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/stream/
+
+# Regenerate every paper table/figure plus ablations at the default
+# laptop-friendly configuration (see EXPERIMENTS.md for the recorded run).
+experiments:
+	$(GO) run ./cmd/experiments -run all \
+		-scale 0.005 -queries 4 -updates 2000 -budget 1s -threads 32
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/frauddetection
+	$(GO) run ./examples/recommendation
+	$(GO) run ./examples/netmon
+	$(GO) run ./examples/multiquery
+
+clean:
+	$(GO) clean ./...

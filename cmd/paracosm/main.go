@@ -1,0 +1,176 @@
+// Command paracosm runs one CSM algorithm — single-threaded or under the
+// ParaCOSM framework — over a data graph, query graph and update stream in
+// the text formats of the CSM benchmark suite (see cmd/gendata), and
+// reports incremental matches plus a full instrumentation breakdown.
+//
+// Usage:
+//
+//	paracosm -data data_graph.txt -query query_6_000.txt \
+//	         -stream insertion_stream.txt -algo Symbi -threads 32
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paracosm/internal/algo"
+	"paracosm/internal/core"
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "data graph file (required)")
+		queryPath  = flag.String("query", "", "query graph file (required)")
+		streamPath = flag.String("stream", "", "update stream file (required)")
+		algoName   = flag.String("algo", "Symbi", "algorithm: CaLiG | GraphFlow | NewSP | Symbi | TurboFlux")
+		threads    = flag.Int("threads", 0, "worker threads (default GOMAXPROCS; 1 = sequential)")
+		inter      = flag.Bool("inter", true, "enable inter-update (safe/unsafe batch) parallelism")
+		batch      = flag.Int("batch", 0, "batch size k (default 4*threads)")
+		split      = flag.Int("split", 4, "SPLIT_DEPTH for adaptive task sharing")
+		budget     = flag.Duration("budget", time.Hour, "processing time budget")
+		verbose    = flag.Bool("v", false, "print every incremental match")
+	)
+	flag.Parse()
+	if *dataPath == "" || *queryPath == "" || *streamPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g := mustGraph(*dataPath)
+	q := mustQuery(*queryPath)
+	s := mustStream(*streamPath)
+	entry, err := algo.ByName(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := core.New(entry.New(),
+		core.Threads(*threads),
+		core.InterUpdate(*inter),
+		core.BatchSize(*batch),
+		core.SplitDepth(*split))
+	if *verbose {
+		eng.OnMatch = func(st *csm.State, count uint64, positive bool) {
+			sign := "+"
+			if !positive {
+				sign = "-"
+			}
+			fmt.Printf("%s match x%d: %s\n", sign, count, formatMatch(st, q))
+		}
+	}
+
+	t0 := time.Now()
+	if err := eng.Init(g, q); err != nil {
+		fatal(err)
+	}
+	build := time.Since(t0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *budget)
+	defer cancel()
+	st, err := eng.Run(ctx, s)
+	status := "ok"
+	if err != nil {
+		status = fmt.Sprintf("aborted: %v", err)
+	}
+
+	fmt.Printf("algorithm      : %s (%d threads, inter-update %v)\n", entry.Name, eng.Config().Threads, eng.Config().InterUpdate)
+	fmt.Printf("data graph     : |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("query graph    : |V|=%d |E|=%d\n", q.NumVertices(), q.NumEdges())
+	fmt.Printf("status         : %s\n", status)
+	fmt.Printf("offline build  : %v\n", build.Round(time.Microsecond))
+	fmt.Printf("updates        : %d (%d safe / %d unsafe, %d batches)\n", st.Updates, st.SafeUpdates, st.UnsafeUpdates, st.Batches)
+	fmt.Printf("matches        : +%d / -%d (search nodes: %d)\n", st.Positive, st.Negative, st.Nodes)
+	fmt.Printf("incremental t  : %v (ADS %v, find %v)\n",
+		st.TTotal.Round(time.Microsecond), st.TADS.Round(time.Microsecond), st.TFind.Round(time.Microsecond))
+	if st.Updates > 0 {
+		fmt.Printf("throughput     : %.0f updates/s\n", float64(st.Updates)/st.TTotal.Seconds())
+	}
+}
+
+func formatMatch(st *csm.State, q *query.Graph) string {
+	out := "{"
+	for u := 0; u < q.NumVertices(); u++ {
+		if u > 0 {
+			out += ", "
+		}
+		v := st.Map[u]
+		if v == graph.NoVertex {
+			out += fmt.Sprintf("u%d->?", u)
+		} else {
+			out += fmt.Sprintf("u%d->v%d", u, v)
+		}
+	}
+	return out + "}"
+}
+
+func mustGraph(path string) *graph.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func mustQuery(path string) *query.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	// Query files reuse the graph text format.
+	g, err := graph.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	labels := make([]graph.Label, g.NumVertices())
+	for v := range labels {
+		labels[v] = g.Label(graph.VertexID(v))
+	}
+	q, err := query.New(labels)
+	if err != nil {
+		fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, nb := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < nb.ID {
+				if err := q.AddEdge(query.VertexID(v), query.VertexID(nb.ID), nb.ELabel); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	if err := q.Finalize(); err != nil {
+		fatal(err)
+	}
+	return q
+}
+
+func mustStream(path string) stream.Stream {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	s, err := stream.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paracosm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module paracosm
+
+go 1.23

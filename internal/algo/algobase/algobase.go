@@ -1,0 +1,246 @@
+// Package algobase factors out the search-tree mechanics shared by every
+// backtracking CSM baseline: mapping an updated data edge onto compatible
+// query-edge orientations (the roots of the search tree T), and extending
+// partial embeddings one query vertex at a time along precomputed connected
+// matching orders with backward-edge validation.
+//
+// Algorithms differ in their auxiliary data structure, which plugs in as a
+// candidate filter consulted for every (query vertex, data vertex) pair.
+package algobase
+
+import (
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// FilterFunc is an ADS candidate test: may data vertex v be matched to
+// query vertex u? A nil filter admits everything (GraphFlow).
+type FilterFunc func(u query.VertexID, v graph.VertexID) bool
+
+// orderInfo caches a matching order and its backward-edge constraints.
+type orderInfo struct {
+	order []query.VertexID
+	back  [][]query.BackEdge
+}
+
+// Base implements csm.Enumerator generically.
+type Base struct {
+	G *graph.Graph
+	Q *query.Graph
+
+	// IgnoreELabels disables edge-label matching (CaLiG semantics).
+	IgnoreELabels bool
+
+	// Filter is the ADS candidate test; nil admits all.
+	Filter FilterFunc
+
+	infos []orderInfo // indexed by csm.EncodeOrder
+}
+
+// Init prepares the base for (g, q): it precomputes one matching order per
+// query-edge orientation. Algorithms call it from Build.
+func (b *Base) Init(g *graph.Graph, q *query.Graph) {
+	b.G, b.Q = g, q
+	ne := q.NumEdges()
+	b.infos = make([]orderInfo, 2*ne)
+	for i := 0; i < ne; i++ {
+		for _, flip := range []bool{false, true} {
+			eo := query.EdgeOrientation{Index: i, Flipped: flip}
+			ord := q.Order(eo)
+			b.infos[csm.EncodeOrder(eo)] = orderInfo{
+				order: ord,
+				back:  q.BackwardNeighbors(ord),
+			}
+		}
+	}
+}
+
+// SetOrder overrides the matching order for one query-edge orientation
+// (CaLiG reorders kernels before shells). The order must be connected and
+// start with the orientation's endpoints.
+func (b *Base) SetOrder(eo query.EdgeOrientation, ord []query.VertexID) {
+	b.infos[csm.EncodeOrder(eo)] = orderInfo{order: ord, back: b.Q.BackwardNeighbors(ord)}
+}
+
+// Order returns the matching order registered for an orientation.
+func (b *Base) Order(eo query.EdgeOrientation) []query.VertexID {
+	return b.infos[csm.EncodeOrder(eo)].order
+}
+
+// Roots implements csm.Enumerator: one root state per query-edge
+// orientation the updated edge maps onto, with both endpoint assignments
+// validated by label, degree, edge label, and the ADS filter. Vertex
+// updates produce no roots (they cannot affect matches, §2.2).
+func (b *Base) Roots(upd stream.Update, emit func(csm.State)) {
+	if !upd.IsEdge() {
+		return
+	}
+	x, y := upd.U, upd.V
+	lx, ly := b.G.Label(x), b.G.Label(y)
+	el := upd.ELabel
+	if upd.Op == stream.DeleteEdge {
+		// The edge is still present during deletion enumeration; use its
+		// actual label.
+		if l, ok := b.G.EdgeLabel(x, y); ok {
+			el = l
+		}
+	}
+	for _, eo := range b.Q.MatchingEdges(lx, ly, el, b.IgnoreELabels) {
+		e := b.Q.Edges()[eo.Index]
+		a, bb := e.U, e.V
+		if eo.Flipped {
+			a, bb = bb, a
+		}
+		// Map x->a, y->bb.
+		if b.G.Degree(x) < b.Q.Degree(a) || b.G.Degree(y) < b.Q.Degree(bb) {
+			continue
+		}
+		if b.Filter != nil && (!b.Filter(a, x) || !b.Filter(bb, y)) {
+			continue
+		}
+		s := csm.NewState(csm.EncodeOrder(eo))
+		s.Set(a, x)
+		s.Set(bb, y)
+		emit(s)
+	}
+}
+
+// Expand implements csm.Enumerator: emit all valid one-vertex extensions
+// of s along its matching order.
+func (b *Base) Expand(s *csm.State, emit func(csm.State)) {
+	info := &b.infos[s.Order]
+	if int(s.Depth) >= len(info.order) {
+		return
+	}
+	u := info.order[s.Depth]
+	back := info.back[s.Depth]
+	b.ForEachCandidate(s, u, back, func(v graph.VertexID) {
+		child := *s
+		child.Set(u, v)
+		emit(child)
+	})
+}
+
+// ForEachCandidate enumerates the compatible set C(u, s) (Definition 2.5):
+// data vertices adjacent to all matched backward neighbors of u with
+// matching labels, unused, degree-feasible, and admitted by the ADS
+// filter. It is exported for algorithms implementing custom expansion
+// (NewSP's lookahead, CaLiG's shell counting).
+func (b *Base) ForEachCandidate(s *csm.State, u query.VertexID, back []query.BackEdge, yield func(v graph.VertexID)) {
+	if len(back) == 0 {
+		return // only root positions have no backward neighbors
+	}
+	info := &b.infos[s.Order]
+	// Anchor on the matched backward neighbor with the smallest adjacency.
+	anchorPos := back[0].Pos
+	anchorDeg := b.G.Degree(s.Map[info.order[anchorPos]])
+	for _, be := range back[1:] {
+		if d := b.G.Degree(s.Map[info.order[be.Pos]]); d < anchorDeg {
+			anchorPos, anchorDeg = be.Pos, d
+		}
+	}
+	anchor := s.Map[info.order[anchorPos]]
+	lu := b.Q.Label(u)
+	du := b.Q.Degree(u)
+	for _, nb := range b.G.Neighbors(anchor) {
+		v := nb.ID
+		if b.G.Label(v) != lu || b.G.Degree(v) < du || s.Uses(v) {
+			continue
+		}
+		ok := true
+		for _, be := range back {
+			w := s.Map[info.order[be.Pos]]
+			el, exists := b.G.EdgeLabel(v, w)
+			if !exists || (!b.IgnoreELabels && el != be.ELabel) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if b.Filter != nil && !b.Filter(u, v) {
+			continue
+		}
+		yield(v)
+	}
+}
+
+// Terminal implements csm.Enumerator for ordinary full-enumeration
+// algorithms: a state is a leaf exactly when every query vertex is matched.
+func (b *Base) Terminal(s *csm.State) (uint64, bool) {
+	if int(s.Depth) == b.Q.NumVertices() {
+		return 1, true
+	}
+	return 0, false
+}
+
+// Relevant implements the label and degree filters (stages 1-2 of
+// ParaCOSM's update classifier) from the pre-application viewpoint: for an
+// insertion the endpoint degrees are taken as they will be once the edge
+// exists. It reports whether the update could map onto any query edge.
+func (b *Base) Relevant(upd stream.Update) bool {
+	if !upd.IsEdge() {
+		return false
+	}
+	x, y := upd.U, upd.V
+	lx, ly := b.G.Label(x), b.G.Label(y)
+	el := upd.ELabel
+	if upd.Op == stream.DeleteEdge {
+		if l, ok := b.G.EdgeLabel(x, y); ok {
+			el = l
+		}
+	}
+	dx, dy := b.G.Degree(x), b.G.Degree(y)
+	if upd.Op == stream.AddEdge {
+		dx, dy = dx+1, dy+1
+	}
+	for _, eo := range b.Q.MatchingEdges(lx, ly, el, b.IgnoreELabels) {
+		e := b.Q.Edges()[eo.Index]
+		a, bb := e.U, e.V
+		if eo.Flipped {
+			a, bb = bb, a
+		}
+		if dx >= b.Q.Degree(a) && dy >= b.Q.Degree(bb) {
+			return true
+		}
+	}
+	return false
+}
+
+// RelevantStages reports the outcome of the label filter and the degree
+// filter separately, for the classifier's per-stage statistics (Figure 12).
+func (b *Base) RelevantStages(upd stream.Update) (passLabel, passDegree bool) {
+	if !upd.IsEdge() {
+		return false, false
+	}
+	x, y := upd.U, upd.V
+	lx, ly := b.G.Label(x), b.G.Label(y)
+	el := upd.ELabel
+	if upd.Op == stream.DeleteEdge {
+		if l, ok := b.G.EdgeLabel(x, y); ok {
+			el = l
+		}
+	}
+	eos := b.Q.MatchingEdges(lx, ly, el, b.IgnoreELabels)
+	if len(eos) == 0 {
+		return false, false
+	}
+	dx, dy := b.G.Degree(x), b.G.Degree(y)
+	if upd.Op == stream.AddEdge {
+		dx, dy = dx+1, dy+1
+	}
+	for _, eo := range eos {
+		e := b.Q.Edges()[eo.Index]
+		a, bb := e.U, e.V
+		if eo.Flipped {
+			a, bb = bb, a
+		}
+		if dx >= b.Q.Degree(a) && dy >= b.Q.Degree(bb) {
+			return true, true
+		}
+	}
+	return true, false
+}

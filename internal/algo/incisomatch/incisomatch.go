@@ -1,0 +1,168 @@
+// Package incisomatch implements the IncIsoMatch baseline (Fan et al.,
+// SIGMOD'11 / TODS'13) in the general CSM model: no auxiliary structure
+// and no update-rooted search. Every update triggers a recomputation-style
+// enumeration — the search starts from all candidates of a static matching
+// order rather than from the updated edge — and complete embeddings are
+// filtered to those containing the updated edge, which by definition is
+// the incremental result ΔM.
+//
+// It exists as the motivational lower bound: the experiment
+// "recompute" (cmd/experiments -run recompute) measures how much
+// edge-rooted incremental search buys over recomputation, the gap that
+// justifies CSM systems in the first place.
+package incisomatch
+
+import (
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// IncIsoMatch is the recomputation baseline.
+type IncIsoMatch struct {
+	g *graph.Graph
+	q *query.Graph
+
+	order []query.VertexID
+	back  [][]query.BackEdge
+
+	// pending is the edge the current update concerns; Terminal filters
+	// complete embeddings to those using it.
+	pendX, pendY graph.VertexID
+}
+
+// New returns an IncIsoMatch instance.
+func New() *IncIsoMatch { return &IncIsoMatch{} }
+
+var _ csm.Algorithm = (*IncIsoMatch)(nil)
+
+// Name implements csm.Algorithm.
+func (a *IncIsoMatch) Name() string { return "IncIsoMatch" }
+
+// Build implements csm.Algorithm: only a static matching order is
+// prepared (highest-degree start, connected greedy extension).
+func (a *IncIsoMatch) Build(g *graph.Graph, q *query.Graph) error {
+	a.g, a.q = g, q
+	n := q.NumVertices()
+	start := query.VertexID(0)
+	for v := 1; v < n; v++ {
+		if q.Degree(query.VertexID(v)) > q.Degree(start) {
+			start = query.VertexID(v)
+		}
+	}
+	order := []query.VertexID{start}
+	in := make([]bool, n)
+	in[start] = true
+	backDeg := make([]int, n)
+	for _, nb := range q.Neighbors(start) {
+		backDeg[nb.ID]++
+	}
+	for len(order) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if in[v] || backDeg[v] == 0 {
+				continue
+			}
+			if best < 0 || backDeg[v] > backDeg[best] {
+				best = v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		order = append(order, query.VertexID(best))
+		in[best] = true
+		for _, nb := range a.q.Neighbors(query.VertexID(best)) {
+			backDeg[nb.ID]++
+		}
+	}
+	a.order = order
+	a.back = q.BackwardNeighbors(order)
+	return nil
+}
+
+// UpdateADS implements csm.Algorithm: nothing is maintained.
+func (a *IncIsoMatch) UpdateADS(stream.Update) {}
+
+// AffectsADS implements csm.Algorithm: recomputation has no filtering rule
+// at all — every edge update is unsafe.
+func (a *IncIsoMatch) AffectsADS(upd stream.Update) bool { return upd.IsEdge() }
+
+// Roots implements csm.Enumerator: the full static search over all
+// candidates of the first order vertex (recomputation), remembering the
+// updated edge so Terminal can select the incremental matches.
+func (a *IncIsoMatch) Roots(upd stream.Update, emit func(csm.State)) {
+	if !upd.IsEdge() {
+		return
+	}
+	a.pendX, a.pendY = upd.U, upd.V
+	u0 := a.order[0]
+	for _, v := range a.g.VerticesWithLabel(a.q.Label(u0)) {
+		if !a.g.Alive(v) || a.g.Degree(v) < a.q.Degree(u0) {
+			continue
+		}
+		s := csm.NewState(0)
+		s.Set(u0, v)
+		emit(s)
+	}
+}
+
+// Expand implements csm.Enumerator: plain backtracking extension.
+func (a *IncIsoMatch) Expand(s *csm.State, emit func(csm.State)) {
+	if int(s.Depth) >= len(a.order) {
+		return
+	}
+	u := a.order[s.Depth]
+	back := a.back[s.Depth]
+	if len(back) == 0 {
+		return
+	}
+	anchorPos := back[0].Pos
+	anchorDeg := a.g.Degree(s.Map[a.order[anchorPos]])
+	for _, be := range back[1:] {
+		if d := a.g.Degree(s.Map[a.order[be.Pos]]); d < anchorDeg {
+			anchorPos, anchorDeg = be.Pos, d
+		}
+	}
+	anchor := s.Map[a.order[anchorPos]]
+	lu := a.q.Label(u)
+	du := a.q.Degree(u)
+	for _, nb := range a.g.Neighbors(anchor) {
+		v := nb.ID
+		if a.g.Label(v) != lu || a.g.Degree(v) < du || s.Uses(v) {
+			continue
+		}
+		ok := true
+		for _, be := range back {
+			w := s.Map[a.order[be.Pos]]
+			el, exists := a.g.EdgeLabel(v, w)
+			if !exists || el != be.ELabel {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		child := *s
+		child.Set(u, v)
+		emit(child)
+	}
+}
+
+// Terminal implements csm.Enumerator: a complete embedding counts only if
+// it maps some query edge onto the updated edge — the recompute-and-diff
+// semantics of incremental matching.
+func (a *IncIsoMatch) Terminal(s *csm.State) (uint64, bool) {
+	if int(s.Depth) != a.q.NumVertices() {
+		return 0, false
+	}
+	for _, e := range a.q.Edges() {
+		mu, mv := s.Map[e.U], s.Map[e.V]
+		if (mu == a.pendX && mv == a.pendY) || (mu == a.pendY && mv == a.pendX) {
+			return 1, true
+		}
+	}
+	return 0, true
+}

@@ -1,0 +1,54 @@
+// Package algo registers the bundled CSM baseline algorithms so that
+// tools, benchmarks and examples can instantiate them by name.
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"paracosm/internal/algo/calig"
+	"paracosm/internal/algo/graphflow"
+	"paracosm/internal/algo/newsp"
+	"paracosm/internal/algo/symbi"
+	"paracosm/internal/algo/turboflux"
+	"paracosm/internal/csm"
+)
+
+// Entry describes one registered algorithm.
+type Entry struct {
+	Name string
+	// New constructs a fresh instance (instances are single-use: one
+	// Build per instance).
+	New func() csm.Algorithm
+	// IgnoreELabels is true for algorithms that disregard edge labels;
+	// reference comparisons must use matching semantics.
+	IgnoreELabels bool
+}
+
+// Registry returns the five algorithms of the paper's evaluation, in the
+// order they appear there. CaLiG is registered in counting mode, its
+// native configuration for incremental match counting.
+func Registry() []Entry {
+	return []Entry{
+		{Name: "CaLiG", New: func() csm.Algorithm { return calig.New(calig.Counting()) }, IgnoreELabels: true},
+		{Name: "GraphFlow", New: func() csm.Algorithm { return graphflow.New() }},
+		{Name: "NewSP", New: func() csm.Algorithm { return newsp.New() }},
+		{Name: "Symbi", New: func() csm.Algorithm { return symbi.New() }},
+		{Name: "TurboFlux", New: func() csm.Algorithm { return turboflux.New() }},
+	}
+}
+
+// ByName looks an algorithm up case-sensitively.
+func ByName(name string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0, 5)
+	for _, e := range Registry() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Entry{}, fmt.Errorf("algo: unknown algorithm %q (have %v)", name, names)
+}

@@ -1,0 +1,62 @@
+package algo
+
+import (
+	"testing"
+
+	"paracosm/internal/csm"
+)
+
+func TestRegistryHasPaperAlgorithms(t *testing.T) {
+	want := map[string]bool{"CaLiG": true, "GraphFlow": true, "NewSP": true, "Symbi": true, "TurboFlux": true}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, e := range reg {
+		if !want[e.Name] {
+			t.Errorf("unexpected entry %q", e.Name)
+		}
+		if e.New == nil {
+			t.Errorf("%s: nil constructor", e.Name)
+		}
+		var a csm.Algorithm = e.New()
+		if a.Name() != e.Name {
+			t.Errorf("entry %q constructs algorithm named %q", e.Name, a.Name())
+		}
+	}
+}
+
+func TestRegistryInstancesAreFresh(t *testing.T) {
+	e, err := ByName("Symbi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.New() == e.New() {
+		t.Fatal("ByName returns shared instances")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestCaLiGIgnoresELabelsFlag(t *testing.T) {
+	e, err := ByName("CaLiG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IgnoreELabels {
+		t.Fatal("CaLiG entry must flag IgnoreELabels")
+	}
+	for _, name := range []string{"GraphFlow", "NewSP", "Symbi", "TurboFlux"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.IgnoreELabels {
+			t.Errorf("%s should respect edge labels", name)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package concurrent provides the small concurrency primitives ParaCOSM's
+// executors are built from: a mutex-protected FIFO task queue (the CQ of
+// Algorithm 2) and an idle-worker gauge used for adaptive task sharing.
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a concurrent FIFO queue. The zero value is ready to use.
+//
+// A plain mutex-protected ring is deliberately chosen over a lock-free
+// structure: ParaCOSM pushes coarse subtree tasks (thousands of search
+// nodes each), so queue operations are far off the critical path and a
+// simple implementation is both fast enough and obviously correct.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	items []T
+	head  int
+	n     atomic.Int64 // mirrors len for lock-free Len()
+}
+
+// Push appends one item.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.n.Add(1)
+	q.mu.Unlock()
+}
+
+// PushAll appends a batch of items.
+func (q *Queue[T]) PushAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.items = append(q.items, vs...)
+	q.n.Add(int64(len(vs)))
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the oldest item.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	if q.head >= len(q.items) {
+		q.mu.Unlock()
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release for GC
+	q.head++
+	q.n.Add(-1)
+	// Compact once the dead prefix dominates, to bound memory.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	q.mu.Unlock()
+	return v, true
+}
+
+// Len returns the current number of queued items (approximate under
+// concurrency, exact when quiescent).
+func (q *Queue[T]) Len() int { return int(q.n.Load()) }
+
+// Empty reports whether the queue is empty (approximate under
+// concurrency).
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }

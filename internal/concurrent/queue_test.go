@@ -1,0 +1,114 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+}
+
+func TestQueuePushAllAndLen(t *testing.T) {
+	var q Queue[string]
+	q.PushAll([]string{"a", "b", "c"})
+	q.PushAll(nil)
+	if q.Len() != 3 || q.Empty() {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 2 {
+		t.Fatalf("Len after pop = %d", q.Len())
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q Queue[int]
+	// Interleave pushes and pops to force the compaction path repeatedly.
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			q.Push(round*40 + i)
+		}
+		for i := 0; i < 40; i++ {
+			v, ok := q.Pop()
+			if !ok || v != next {
+				t.Fatalf("Pop = (%d,%v), want %d", v, ok, next)
+			}
+			next++
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d at end", q.Len())
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	var q Queue[int]
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					select {
+					case <-done:
+						if v, ok = q.Pop(); !ok {
+							return
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				if seen[v] {
+					mu.Unlock()
+					t.Errorf("value %d popped twice", v)
+					return
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	count := 0
+	for _, s := range seen {
+		if s {
+			count++
+		}
+	}
+	if count != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", count, producers*perProducer)
+	}
+}

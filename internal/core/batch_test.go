@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"paracosm/internal/algo/graphflow"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// pathFixture: query path a(0)-b(1)-c(0) where deg_Q(b)=2, over isolated
+// data vertices v0(0), v1(1), v2(0).
+func pathFixture(t *testing.T) (*Engine, *graph.Graph) {
+	t.Helper()
+	g := graph.New(3)
+	g.AddVertex(0)
+	g.AddVertex(1)
+	g.AddVertex(0)
+	q := query.MustNew([]graph.Label{0, 1, 0})
+	q.MustAddEdge(0, 1, 0)
+	q.MustAddEdge(1, 2, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(graphflow.New(), Threads(1), InterUpdate(true), BatchSize(8))
+	if err := eng.Init(g, q); err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+// TestReclassification: both insertions of the path are degree-safe when
+// the batch is classified, but applying the first raises v1's degree so
+// the second must be re-validated to unsafe — otherwise the completed path
+// match would be silently missed.
+func TestReclassification(t *testing.T) {
+	eng, g := pathFixture(t)
+	s := stream.Stream{
+		{Op: stream.AddEdge, U: 0, V: 1},
+		{Op: stream.AddEdge, U: 1, V: 2},
+	}
+	st, err := eng.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The path a-b-c with labels (0,1,0) matches twice (two orientations).
+	if st.Positive != 2 {
+		t.Fatalf("Positive = %d, want 2", st.Positive)
+	}
+	if st.Reclassified != 1 {
+		t.Fatalf("Reclassified = %d, want 1", st.Reclassified)
+	}
+	if st.SafeUpdates != 1 || st.UnsafeUpdates != 1 {
+		t.Fatalf("safe/unsafe = %d/%d, want 1/1", st.SafeUpdates, st.UnsafeUpdates)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("edges not applied")
+	}
+}
+
+// TestSafeDeletionSkipsSearch: deleting a label-irrelevant edge must be
+// classified safe and applied without enumeration.
+func TestSafeDeletionSkipsSearch(t *testing.T) {
+	eng, g := pathFixture(t)
+	// Add two same-label vertices and an edge between them; (0,0) matches
+	// no query edge.
+	v3 := g.AddVertex(0)
+	v4 := g.AddVertex(0)
+	g.AddEdge(v3, v4, 0)
+	st, err := eng.Run(context.Background(), stream.Stream{
+		{Op: stream.DeleteEdge, U: v3, V: v4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SafeUpdates != 1 || st.SafeByLabel != 1 {
+		t.Fatalf("stats = %+v, want one label-safe deletion", st)
+	}
+	if st.Nodes != 0 {
+		t.Fatalf("search ran for a safe deletion (%d nodes)", st.Nodes)
+	}
+	if g.HasEdge(v3, v4) {
+		t.Fatal("safe deletion not applied")
+	}
+}
+
+// TestBatchBoundaryDeferralProcessesEverything: a long alternating
+// safe/unsafe stream across many batch boundaries must apply every update
+// exactly once.
+func TestBatchBoundaryDeferralProcessesEverything(t *testing.T) {
+	g := graph.New(40)
+	for i := 0; i < 40; i++ {
+		g.AddVertex(graph.Label(i % 2))
+	}
+	q := query.MustNew([]graph.Label{0, 1})
+	q.MustAddEdge(0, 1, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(graphflow.New(), Threads(2), InterUpdate(true), BatchSize(3))
+	if err := eng.Init(g, q); err != nil {
+		t.Fatal(err)
+	}
+	var s stream.Stream
+	want := 0
+	for i := 0; i < 30; i += 2 {
+		u, v := graph.VertexID(i), graph.VertexID(i+1)
+		// (even,odd) labels (0,1): unsafe, creates one match per edge...
+		s = append(s, stream.Update{Op: stream.AddEdge, U: u, V: v})
+		want++
+		// (even,even): label-safe.
+		if i+2 < 40 {
+			s = append(s, stream.Update{Op: stream.AddEdge, U: u, V: graph.VertexID(i + 2)})
+		}
+	}
+	st, err := eng.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != len(s) {
+		t.Fatalf("processed %d of %d updates", st.Updates, len(s))
+	}
+	if int(st.Positive) != want {
+		t.Fatalf("Positive = %d, want %d", st.Positive, want)
+	}
+	if st.Batches < len(s)/3 {
+		t.Fatalf("Batches = %d, suspiciously few for batch size 3 with deferrals", st.Batches)
+	}
+	// Every edge must exist exactly once.
+	for i, upd := range s {
+		if !g.HasEdge(upd.U, upd.V) {
+			t.Fatalf("update %d (%v) not applied", i, upd)
+		}
+	}
+}
+
+// TestVertexOpsInBatches: vertex updates flowing through the batch
+// executor are counted as safe and keep indexes growable.
+func TestVertexOpsInBatches(t *testing.T) {
+	eng, g := pathFixture(t)
+	st, err := eng.Run(context.Background(), stream.Stream{
+		{Op: stream.AddVertex, VLabel: 1},
+		{Op: stream.AddEdge, U: 0, V: 1},
+		{Op: stream.AddVertex, VLabel: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VertexUpdates != 2 {
+		t.Fatalf("VertexUpdates = %d, want 2", st.VertexUpdates)
+	}
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+}
+
+// TestInterUpdateDisabledProcessesFully: with the batch executor off every
+// update takes the full path, so the safe counters stay zero.
+func TestInterUpdateDisabledProcessesFully(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex(graph.Label(i % 2))
+	}
+	q := query.MustNew([]graph.Label{0, 1})
+	q.MustAddEdge(0, 1, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(graphflow.New(), Threads(1), InterUpdate(false))
+	if err := eng.Init(g, q); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run(context.Background(), stream.Stream{
+		{Op: stream.AddEdge, U: 0, V: 2}, // (0,0): would be label-safe
+		{Op: stream.AddEdge, U: 0, V: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SafeUpdates != 0 || st.Batches != 0 {
+		t.Fatalf("stats = %+v, want no batch-executor activity", st)
+	}
+	if st.Updates != 2 {
+		t.Fatalf("Updates = %d", st.Updates)
+	}
+}

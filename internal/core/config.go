@@ -1,0 +1,149 @@
+// Package core implements ParaCOSM itself: the two-level parallel
+// framework of the paper. Given any csm.Algorithm (the user-supplied
+// traversal routine plus filtering rule), it provides
+//
+//   - the inner-update executor (§4.1, Algorithm 2): fine-grained
+//     decomposition of each update's search tree into subtree tasks,
+//     dispatched through a concurrent queue with adaptive re-splitting
+//     driven by idle-thread detection; and
+//
+//   - the inter-update executor (§4.2, Figure 6): a three-stage update
+//     type classifier (label filter, degree filter, ADS/candidate filter)
+//     run in parallel over batches, applying safe updates directly and
+//     deferring everything after the first unsafe update to the next
+//     batch.
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config controls ParaCOSM's parallel execution.
+type Config struct {
+	// Threads is the worker pool size (N and M of the speedup model,
+	// §4.3). Defaults to runtime.GOMAXPROCS(0). Threads == 1 degenerates
+	// to faithful sequential execution.
+	Threads int
+
+	// BatchSize is k, the number of updates classified per inter-update
+	// batch. Defaults to 4 * Threads.
+	BatchSize int
+
+	// SplitDepth is SPLIT_DEPTH of Algorithm 2: search-tree nodes at
+	// depth below it may be re-split into queue tasks when idle threads
+	// are detected. 0 (the default) auto-tunes to |V(Q)|-2 at Init, so
+	// that even explosions deep in the tree can be shared; set it lower
+	// to bound task-splitting overhead.
+	SplitDepth int
+
+	// EscalateNodes is the sequential node budget per update before the
+	// inner-update executor escalates to the parallel phase. Update
+	// streams are heavy-tailed: most search trees die within a few
+	// nodes, so parallel coordination is only engaged for trees that
+	// prove heavy. Defaults to 4096.
+	EscalateNodes int
+
+	// LoadBalance enables adaptive task re-splitting during the parallel
+	// phase. Disabling it reproduces the "unbalanced" configuration of
+	// Figure 10: tasks are only split during initialization.
+	LoadBalance bool
+
+	// InterUpdate enables the safe/unsafe batch executor. Disabling it
+	// processes every update through the full (inner-parallel) path,
+	// the baseline of Figure 11.
+	InterUpdate bool
+
+	// Simulate switches the executors to execution-driven schedule
+	// simulation (see sim.go): the search runs for real, but parallel
+	// find times, classification times and per-worker loads are computed
+	// for Threads virtual workers from measured per-node costs. Use on
+	// machines with fewer cores than the configuration under study.
+	Simulate bool
+}
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// Threads sets the worker pool size.
+func Threads(n int) Option { return func(c *Config) { c.Threads = n } }
+
+// BatchSize sets the inter-update batch size k.
+func BatchSize(k int) Option { return func(c *Config) { c.BatchSize = k } }
+
+// SplitDepth sets SPLIT_DEPTH for adaptive task splitting.
+func SplitDepth(d int) Option { return func(c *Config) { c.SplitDepth = d } }
+
+// EscalateNodes sets the sequential node budget before parallel
+// escalation.
+func EscalateNodes(n int) Option { return func(c *Config) { c.EscalateNodes = n } }
+
+// LoadBalance toggles adaptive re-splitting (Figure 10 ablation).
+func LoadBalance(on bool) Option { return func(c *Config) { c.LoadBalance = on } }
+
+// InterUpdate toggles the batch executor (Figure 11 ablation).
+func InterUpdate(on bool) Option { return func(c *Config) { c.InterUpdate = on } }
+
+// Simulate toggles execution-driven schedule simulation.
+func Simulate(on bool) Option { return func(c *Config) { c.Simulate = on } }
+
+func defaultConfig() Config {
+	return Config{
+		Threads:     runtime.GOMAXPROCS(0),
+		LoadBalance: true,
+		InterUpdate: true,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 4 * c.Threads
+	}
+	if c.SplitDepth < 0 {
+		c.SplitDepth = 0
+	}
+	if c.EscalateNodes < 1 {
+		c.EscalateNodes = 4096
+	}
+}
+
+// Stats aggregates a run's instrumentation, backing the paper's breakdown
+// figures: the ADS/FindMatches split (Table 3), safe-update ratios
+// (Table 4), classifier stage effectiveness (Figure 12) and per-thread
+// busy times (Figure 10).
+type Stats struct {
+	Updates  int
+	Positive uint64
+	Negative uint64
+	Nodes    uint64
+
+	TADS   time.Duration
+	TFind  time.Duration
+	TTotal time.Duration
+
+	// Inter-update executor counters.
+	Batches       int
+	SafeUpdates   int
+	UnsafeUpdates int
+	Reclassified  int // safe-at-classification, unsafe at re-validation
+	SafeByLabel   int // rejected by stage 1
+	SafeByDegree  int // passed stage 1, rejected by stage 2
+	SafeByADS     int // passed stages 1-2, rejected by stage 3
+	VertexUpdates int // trivially safe vertex ops
+
+	// ThreadBusy[w] is the cumulative busy time of worker w during
+	// parallel find-matches phases.
+	ThreadBusy []time.Duration
+}
+
+// SafeRatio returns the fraction of updates classified safe (γ of the
+// speedup model).
+func (s Stats) SafeRatio() float64 {
+	if s.Updates == 0 {
+		return 0
+	}
+	return float64(s.SafeUpdates) / float64(s.Updates)
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// Engine is a ParaCOSM instance wrapping a single CSM algorithm.
+type Engine struct {
+	cfg  Config
+	algo csm.Algorithm
+	g    *graph.Graph
+	q    *query.Graph
+
+	// OnMatch, if non-nil, observes every reported match. Invocations are
+	// serialized; the callback must not retain the state pointer.
+	OnMatch csm.MatchFunc
+
+	stats   Stats
+	statsMu sync.Mutex
+	matchMu sync.Mutex
+
+	// rootBuf is reused across updates for the sequential DFS stack.
+	rootBuf []csm.State
+
+	// splitDepth is the effective SPLIT_DEPTH (auto-tuned from the query
+	// size when Config.SplitDepth is 0).
+	splitDepth int
+
+	// simBudget is the simulated-time budget of the current Run (simulate
+	// mode only; 0 when processing updates outside Run).
+	simBudget time.Duration
+}
+
+// New creates a ParaCOSM engine around algo.
+func New(algo csm.Algorithm, opts ...Option) *Engine {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.normalize()
+	return &Engine{cfg: cfg, algo: algo}
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Algo returns the wrapped algorithm.
+func (e *Engine) Algo() csm.Algorithm { return e.algo }
+
+// Stats returns a snapshot of accumulated instrumentation.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	s := e.stats
+	s.ThreadBusy = append([]time.Duration(nil), e.stats.ThreadBusy...)
+	return s
+}
+
+// ResetStats zeroes accumulated instrumentation.
+func (e *Engine) ResetStats() {
+	e.statsMu.Lock()
+	e.stats = Stats{}
+	e.statsMu.Unlock()
+}
+
+// Init runs the offline stage of the wrapped algorithm on (g, q).
+func (e *Engine) Init(g *graph.Graph, q *query.Graph) error {
+	if g == nil || q == nil {
+		return fmt.Errorf("core: nil graph or query")
+	}
+	e.g, e.q = g, q
+	e.splitDepth = e.cfg.SplitDepth
+	if e.splitDepth <= 0 {
+		e.splitDepth = q.NumVertices() - 2
+	}
+	if e.splitDepth < 2 {
+		e.splitDepth = 2
+	}
+	return e.algo.Build(g, q)
+}
+
+// ProcessUpdate executes one update through the full path: apply the
+// mutation, maintain the ADS, and find incremental matches with the
+// inner-update executor. It is the "unsafe update" path of the batch
+// executor and the whole story when InterUpdate is disabled.
+func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delta, error) {
+	var d csm.Delta
+	deadline, hasDeadline := ctx.Deadline()
+	t0 := time.Now()
+
+	simulate := e.cfg.Simulate && e.cfg.Threads > 1
+	find := func(positive bool) innerResult {
+		if simulate {
+			r, simFind := e.findMatchesSimulated(deadline, hasDeadline, upd, positive)
+			d.TFind = simFind
+			return r
+		}
+		tF := time.Now()
+		r := e.findMatchesParallel(deadline, hasDeadline, upd, positive)
+		d.TFind = time.Since(tF)
+		return r
+	}
+
+	switch upd.Op {
+	case stream.AddEdge:
+		if err := upd.Apply(e.g); err != nil {
+			return d, err
+		}
+		tA := time.Now()
+		e.algo.UpdateADS(upd)
+		d.TADS = time.Since(tA)
+		r := find(true)
+		d.Positive, d.Nodes = r.matches, r.nodes
+		if r.timeout {
+			e.account(&d, t0)
+			return d, csm.ErrDeadline
+		}
+
+	case stream.DeleteEdge:
+		r := find(false)
+		d.Negative, d.Nodes = r.matches, r.nodes
+		if aerr := upd.Apply(e.g); aerr != nil {
+			return d, aerr
+		}
+		tA := time.Now()
+		e.algo.UpdateADS(upd)
+		d.TADS = time.Since(tA)
+		if r.timeout {
+			e.account(&d, t0)
+			return d, csm.ErrDeadline
+		}
+
+	case stream.AddVertex, stream.DeleteVertex:
+		if err := upd.Apply(e.g); err != nil {
+			return d, err
+		}
+		tA := time.Now()
+		e.algo.UpdateADS(upd)
+		d.TADS = time.Since(tA)
+
+	default:
+		return d, fmt.Errorf("core: unknown op %v", upd.Op)
+	}
+
+	e.account(&d, t0)
+	return d, nil
+}
+
+func (e *Engine) account(d *csm.Delta, t0 time.Time) {
+	e.statsMu.Lock()
+	e.stats.Updates++
+	e.stats.Positive += d.Positive
+	e.stats.Negative += d.Negative
+	e.stats.Nodes += d.Nodes
+	e.stats.TADS += d.TADS
+	e.stats.TFind += d.TFind
+	if e.cfg.Simulate && e.cfg.Threads > 1 {
+		// In simulate mode TFind is already the simulated parallel time;
+		// wall-clock elapsed would double-count the sequential execution.
+		e.stats.TTotal += d.TADS + d.TFind
+	} else {
+		e.stats.TTotal += time.Since(t0)
+	}
+	e.statsMu.Unlock()
+}
+
+// Run processes the whole stream. With InterUpdate enabled, updates flow
+// through the batch executor; otherwise each goes through ProcessUpdate.
+// In simulate mode the context deadline is interpreted against simulated
+// time: the run is aborted once accumulated simulated time exceeds the
+// budget remaining at the first update.
+func (e *Engine) Run(ctx context.Context, s stream.Stream) (Stats, error) {
+	var simBudget time.Duration
+	if dl, ok := ctx.Deadline(); ok && e.cfg.Simulate {
+		simBudget = time.Until(dl)
+		e.simBudget = simBudget
+		defer func() { e.simBudget = 0 }()
+	}
+	overSimBudget := func() bool {
+		return simBudget > 0 && e.Stats().TTotal > simBudget
+	}
+	if !e.cfg.InterUpdate {
+		for i, upd := range s {
+			if _, err := e.ProcessUpdate(ctx, upd); err != nil {
+				return e.Stats(), fmt.Errorf("update %d (%v): %w", i, upd, err)
+			}
+			if overSimBudget() {
+				return e.Stats(), fmt.Errorf("update %d: %w", i, csm.ErrDeadline)
+			}
+		}
+		return e.Stats(), nil
+	}
+	i := 0
+	for i < len(s) {
+		n, err := e.runBatch(ctx, s[i:])
+		i += n
+		if err != nil {
+			return e.Stats(), fmt.Errorf("update %d: %w", i-1, err)
+		}
+		if n == 0 {
+			return e.Stats(), fmt.Errorf("core: batch executor made no progress")
+		}
+		if overSimBudget() {
+			return e.Stats(), fmt.Errorf("update %d: %w", i-1, csm.ErrDeadline)
+		}
+	}
+	return e.Stats(), nil
+}
+
+// classification is the verdict of the three-stage update type classifier.
+type classification uint8
+
+const (
+	classUnsafe classification = iota
+	classSafeLabel
+	classSafeDegree
+	classSafeADS
+	classVertexOp
+)
+
+// classify runs the three-stage filter of §4.2 for one update against the
+// current graph/ADS state. It never mutates anything.
+func (e *Engine) classify(upd stream.Update) classification {
+	if !upd.IsEdge() {
+		return classVertexOp
+	}
+	if sc, ok := e.algo.(interface {
+		RelevantStages(stream.Update) (bool, bool)
+	}); ok {
+		passLabel, passDegree := sc.RelevantStages(upd)
+		if !passLabel {
+			return classSafeLabel
+		}
+		if !passDegree {
+			return classSafeDegree
+		}
+	}
+	if !e.algo.AffectsADS(upd) {
+		return classSafeADS
+	}
+	return classUnsafe
+}
+
+// runBatch executes one batch round of the inter-update executor
+// (Figure 6): parallel classification, direct application of the safe
+// prefix, full processing of the first unsafe update, deferral of the
+// rest. It returns how many updates of s were consumed.
+func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
+	k := e.cfg.BatchSize
+	if k > len(s) {
+		k = len(s)
+	}
+	batch := s[:k]
+
+	// Stage A: parallel classification (read-only against g and ADS).
+	tClassify := time.Now()
+	verdicts := make([]classification, k)
+	workers := e.cfg.Threads
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for j, upd := range batch {
+			verdicts[j] = e.classify(upd)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (k + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > k {
+				hi = k
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for j := lo; j < hi; j++ {
+					verdicts[j] = e.classify(batch[j])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	classifyCost := time.Since(tClassify)
+	if e.cfg.Simulate && e.cfg.Threads > 1 {
+		// Under schedule simulation classification runs sequentially but
+		// is charged as k-way parallel work.
+		classifyCost /= time.Duration(e.cfg.Threads)
+	}
+	e.statsMu.Lock()
+	e.stats.Batches++
+	e.stats.TTotal += classifyCost
+	e.statsMu.Unlock()
+
+	// Stage B: ordered application. Safe updates are applied directly
+	// (no ADS maintenance, no enumeration — that is the whole point);
+	// the first unsafe update runs the full inner-parallel path and
+	// everything after it is deferred to the next batch. Because earlier
+	// updates in the batch may have changed endpoint degrees since
+	// classification, safe verdicts are cheaply re-validated before
+	// application.
+	consumed := 0
+	for j, upd := range batch {
+		v := verdicts[j]
+		// Earlier updates in this batch may have changed endpoint degrees
+		// or the ADS since stage-A classification, so degree- and
+		// ADS-based safe verdicts are re-validated against the current
+		// state before application. Label-based verdicts are permanent
+		// (vertex labels never change) and skip re-validation.
+		if (v == classSafeDegree || v == classSafeADS) && upd.IsEdge() {
+			if rv := e.classify(upd); rv == classUnsafe {
+				v = classUnsafe
+				e.statsMu.Lock()
+				e.stats.Reclassified++
+				e.statsMu.Unlock()
+			} else {
+				v = rv
+			}
+		}
+		switch v {
+		case classVertexOp:
+			if _, err := e.ProcessUpdate(ctx, upd); err != nil {
+				return consumed + 1, err
+			}
+			e.statsMu.Lock()
+			e.stats.VertexUpdates++
+			e.stats.SafeUpdates++
+			e.statsMu.Unlock()
+			consumed++
+
+		case classSafeLabel, classSafeDegree, classSafeADS:
+			t0 := time.Now()
+			if err := upd.Apply(e.g); err != nil {
+				return consumed + 1, err
+			}
+			// Safe updates skip enumeration entirely (their ΔM is empty),
+			// but label/degree-safe ones must still maintain the ADS: the
+			// degree change at the endpoints can flip candidacy of other
+			// query vertices even though this edge matches none. Only
+			// stage-3 safety (AffectsADS == false) proves the ADS is
+			// untouched, so only then is maintenance skipped (this is the
+			// γ·T_ADS term of the speedup model, Eq. 1).
+			var tads time.Duration
+			if v != classSafeADS {
+				tA := time.Now()
+				e.algo.UpdateADS(upd)
+				tads = time.Since(tA)
+			}
+			// Eq. 1 models safe updates as M-way-parallel ADS maintenance
+			// (γ·T_ADS/M). The paper's C++ system updates the index
+			// concurrently under fine-grained locks; this Go port keeps
+			// index mutation single-writer for memory-safety, so the
+			// M-way discount is applied in simulate mode only and the
+			// limitation is documented in DESIGN.md.
+			div := time.Duration(1)
+			if e.cfg.Simulate && e.cfg.Threads > 1 {
+				div = time.Duration(e.cfg.Threads)
+			}
+			tads /= div
+			e.statsMu.Lock()
+			e.stats.Updates++
+			e.stats.SafeUpdates++
+			e.stats.TADS += tads
+			switch v {
+			case classSafeLabel:
+				e.stats.SafeByLabel++
+			case classSafeDegree:
+				e.stats.SafeByDegree++
+			case classSafeADS:
+				e.stats.SafeByADS++
+			}
+			e.stats.TTotal += time.Since(t0) / div
+			e.statsMu.Unlock()
+			consumed++
+
+		case classUnsafe:
+			if _, err := e.ProcessUpdate(ctx, upd); err != nil {
+				return consumed + 1, err
+			}
+			e.statsMu.Lock()
+			e.stats.UnsafeUpdates++
+			e.statsMu.Unlock()
+			consumed++
+			// Defer the remainder of the batch (Figure 6).
+			return consumed, nil
+		}
+	}
+	return consumed, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paracosm/internal/concurrent"
+	"paracosm/internal/csm"
+	"paracosm/internal/stream"
+)
+
+// innerResult carries the outcome of one find-matches phase.
+type innerResult struct {
+	matches uint64
+	nodes   uint64
+	timeout bool
+}
+
+// findMatchesParallel is the inner-update executor (Algorithm 2) with an
+// adaptive escalation front end. Real update streams are extremely
+// heavy-tailed: most updates produce search trees of a handful of nodes
+// (where any parallel coordination would dominate the work), while a rare
+// update explodes into millions of nodes. The executor therefore starts
+// every update sequentially under a node budget and escalates to the
+// parallel phase — BFS decomposition into a concurrent task queue drained
+// by a worker pool with adaptive re-splitting — only once the budget is
+// exceeded, i.e. exactly for the updates where parallelism pays.
+func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd stream.Update, positive bool) innerResult {
+	var res innerResult
+
+	// Initialization: collect the first layer of the search tree.
+	stack := e.rootBuf[:0]
+	e.algo.Roots(upd, func(s csm.State) { stack = append(stack, s) })
+	e.rootBuf = stack[:0]
+	if len(stack) == 0 {
+		return res
+	}
+
+	threads := e.cfg.Threads
+	budget := uint64(e.cfg.EscalateNodes)
+	if threads <= 1 {
+		budget = ^uint64(0) // never escalate
+	}
+
+	// Sequential phase: explicit-stack DFS under the node budget.
+	checkCounter := uint64(0)
+	for len(stack) > 0 {
+		if res.nodes >= budget {
+			break
+		}
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.nodes++
+		checkCounter++
+		if hasDeadline && checkCounter%1024 == 0 && time.Now().After(deadline) {
+			res.timeout = true
+			return res
+		}
+		if c, done := e.algo.Terminal(&s); done {
+			res.matches += c
+			e.emitMatch(&s, c, positive)
+			continue
+		}
+		e.algo.Expand(&s, func(child csm.State) { stack = append(stack, child) })
+	}
+	if len(stack) == 0 {
+		return res
+	}
+
+	// Escalation: hand the remaining frontier to the worker pool.
+	par := e.runWorkers(stack, deadline, hasDeadline, positive)
+	res.matches += par.matches
+	res.nodes += par.nodes
+	res.timeout = par.timeout
+	return res
+}
+
+// runWorkers is the parallel execution phase of Algorithm 2.
+func (e *Engine) runWorkers(frontier []csm.State, deadline time.Time, hasDeadline bool, positive bool) innerResult {
+	threads := e.cfg.Threads
+	var queue concurrent.Queue[csm.State]
+	queue.PushAll(frontier)
+
+	var (
+		matches atomic.Uint64
+		nodes   atomic.Uint64
+		aborted atomic.Bool
+		idle    atomic.Int32
+		wg      sync.WaitGroup
+	)
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var busy time.Duration
+			var localNodes, localMatches uint64
+
+			var dfs func(s *csm.State)
+			dfs = func(s *csm.State) {
+				if aborted.Load() {
+					return
+				}
+				localNodes++
+				if hasDeadline && localNodes%1024 == 0 && time.Now().After(deadline) {
+					aborted.Store(true)
+					return
+				}
+				if c, done := e.algo.Terminal(s); done {
+					localMatches += c
+					e.emitMatch(s, c, positive)
+					return
+				}
+				// Adaptive task sharing: re-split shallow subtrees into
+				// queue tasks when other workers are starved.
+				if e.cfg.LoadBalance && int(s.Depth) < e.splitDepth &&
+					idle.Load() > 0 && queue.Empty() {
+					e.algo.Expand(s, func(child csm.State) { queue.Push(child) })
+					return
+				}
+				e.algo.Expand(s, func(child csm.State) { dfs(&child) })
+			}
+
+			for {
+				s, ok := queue.Pop()
+				if ok {
+					t0 := time.Now()
+					dfs(&s)
+					busy += time.Since(t0)
+					continue
+				}
+				// Queue empty: declare idle. All workers idle with an
+				// empty queue means no task exists or can appear.
+				idle.Add(1)
+				for {
+					if aborted.Load() {
+						e.finishWorker(w, busy, localNodes, localMatches, &nodes, &matches)
+						return
+					}
+					if queue.Len() > 0 {
+						idle.Add(-1)
+						break
+					}
+					if int(idle.Load()) == threads {
+						e.finishWorker(w, busy, localNodes, localMatches, &nodes, &matches)
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return innerResult{matches: matches.Load(), nodes: nodes.Load(), timeout: aborted.Load()}
+}
+
+func (e *Engine) finishWorker(w int, busy time.Duration, localNodes, localMatches uint64, nodes, matches *atomic.Uint64) {
+	nodes.Add(localNodes)
+	matches.Add(localMatches)
+	e.statsMu.Lock()
+	for len(e.stats.ThreadBusy) <= w {
+		e.stats.ThreadBusy = append(e.stats.ThreadBusy, 0)
+	}
+	e.stats.ThreadBusy[w] += busy
+	e.statsMu.Unlock()
+}
+
+// emitMatch serializes OnMatch callbacks across workers.
+func (e *Engine) emitMatch(s *csm.State, count uint64, positive bool) {
+	if e.OnMatch == nil {
+		return
+	}
+	e.matchMu.Lock()
+	e.OnMatch(s, count, positive)
+	e.matchMu.Unlock()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// MultiEngine runs many continuous queries against the same update stream.
+// It adds the third, coarsest level of parallelism — across queries — on
+// top of ParaCOSM's inner-update and inter-update levels; this is the
+// batch-level parallelism of Mnemonic (Table 1), generalized so that each
+// query still benefits from the finer two levels internally.
+//
+// Each registered query owns an engine and a private copy of the data
+// graph, so queries share nothing and never contend; the stream is
+// broadcast. Registration happens before Init; results are queried per
+// registered query.
+type MultiEngine struct {
+	cfg     Config
+	queries []*multiQuery
+}
+
+type multiQuery struct {
+	name string
+	algo csm.Algorithm
+	q    *query.Graph
+	eng  *Engine
+	g    *graph.Graph
+	err  error
+}
+
+// NewMulti creates an empty multi-query engine; opts configure every
+// per-query engine identically.
+func NewMulti(opts ...Option) *MultiEngine {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.normalize()
+	return &MultiEngine{cfg: cfg}
+}
+
+// Register adds a continuous query under a display name. Must be called
+// before Init.
+func (m *MultiEngine) Register(name string, algo csm.Algorithm, q *query.Graph) {
+	m.queries = append(m.queries, &multiQuery{name: name, algo: algo, q: q})
+}
+
+// NumQueries returns the number of registered queries.
+func (m *MultiEngine) NumQueries() int { return len(m.queries) }
+
+// Init builds every query's engine over a private clone of g.
+func (m *MultiEngine) Init(g *graph.Graph) error {
+	if len(m.queries) == 0 {
+		return fmt.Errorf("core: no queries registered")
+	}
+	for _, mq := range m.queries {
+		mq.g = g.Clone()
+		mq.eng = New(mq.algo)
+		mq.eng.cfg = m.cfg
+		if err := mq.eng.Init(mq.g, mq.q); err != nil {
+			return fmt.Errorf("query %q: %w", mq.name, err)
+		}
+	}
+	return nil
+}
+
+// Run broadcasts the stream to every query concurrently and waits for all
+// of them. Per-query failures (e.g. deadline) are recorded and returned as
+// a combined error; successful queries keep their full results.
+func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
+	var wg sync.WaitGroup
+	for _, mq := range m.queries {
+		wg.Add(1)
+		go func(mq *multiQuery) {
+			defer wg.Done()
+			_, mq.err = mq.eng.Run(ctx, s)
+		}(mq)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, mq := range m.queries {
+		if mq.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("query %q: %w", mq.name, mq.err)
+		}
+	}
+	return firstErr
+}
+
+// Stats returns the per-query statistics, keyed by registration name.
+func (m *MultiEngine) Stats() map[string]Stats {
+	out := make(map[string]Stats, len(m.queries))
+	for _, mq := range m.queries {
+		if mq.eng != nil {
+			out[mq.name] = mq.eng.Stats()
+		}
+	}
+	return out
+}
+
+// Engine returns the per-query engine (e.g. to attach an OnMatch
+// callback), or nil if the name is unknown. Must be called after Init.
+func (m *MultiEngine) Engine(name string) *Engine {
+	for _, mq := range m.queries {
+		if mq.name == name {
+			return mq.eng
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"paracosm/internal/algo/algotest"
+	"paracosm/internal/query"
+	"paracosm/internal/refmatch"
+)
+
+func TestMultiEngineMatchesIndividualRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := algotest.RandomGraph(rng, 26, 55, 2, 1)
+	q1 := algotest.RandomQuery(rng, g, 3)
+	q2 := algotest.RandomQuery(rng, g, 4)
+	if q1 == nil || q2 == nil {
+		t.Skip("no queries")
+	}
+	s := algotest.RandomStream(rng, g, 35, 0.7, 1)
+
+	fGF := algotest.Factories()[2] // GraphFlow
+	fSY := algotest.Factories()[4] // Symbi
+
+	m := NewMulti(Threads(2), BatchSize(6))
+	m.Register("gf-q1", fGF.New(), q1)
+	m.Register("sy-q2", fSY.New(), q2)
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", m.NumQueries())
+	}
+	if err := m.Run(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+
+	// Reference totals per query. The diffs also verify the shared input
+	// graph was untouched: each reference replay starts from g's current
+	// (pre-stream) state.
+	for name, qq := range map[string]*queryGraphAlias{"gf-q1": {q1}, "sy-q2": {q2}} {
+		got := st[name]
+		var wantPos, wantNeg uint64
+		h := g.Clone()
+		for _, upd := range s {
+			p, n := refmatch.Delta(h, qq.g, upd, refmatch.Options{})
+			wantPos += p
+			wantNeg += n
+			if err := upd.Apply(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got.Positive != wantPos || got.Negative != wantNeg {
+			t.Fatalf("%s: (+%d,-%d), reference (+%d,-%d)", name, got.Positive, got.Negative, wantPos, wantNeg)
+		}
+	}
+}
+
+// queryGraphAlias keeps the reference-replay map literal tidy.
+type queryGraphAlias struct{ g *query.Graph }
+
+func TestMultiEngineRequiresQueries(t *testing.T) {
+	m := NewMulti()
+	rng := rand.New(rand.NewSource(1))
+	g := algotest.RandomGraph(rng, 5, 5, 1, 1)
+	if err := m.Init(g); err == nil {
+		t.Fatal("Init with no queries accepted")
+	}
+}
+
+func TestMultiEngineEngineLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := algotest.RandomGraph(rng, 20, 40, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	m := NewMulti(Threads(1))
+	m.Register("only", algotest.Factories()[2].New(), q)
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine("only") == nil {
+		t.Fatal("registered engine not found")
+	}
+	if m.Engine("nope") != nil {
+		t.Fatal("unknown engine returned")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"paracosm/internal/algo/algotest"
+	"paracosm/internal/csm"
+)
+
+// TestWorkerPoolCorrectness forces the real parallel phase (escalation
+// after 16 nodes) on a dense workload and checks the match totals against
+// sequential execution for every algorithm and several thread counts.
+// This is the test that actually exercises runWorkers' task queue,
+// idle-detection termination and adaptive re-splitting; run with -race.
+func TestWorkerPoolCorrectness(t *testing.T) {
+	for _, f := range algotest.Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				// Dense, label-poor graph: search trees explode past the
+				// tiny escalation budget on nearly every update.
+				g0 := algotest.RandomGraph(rng, 60, 600, 1, 1)
+				q := algotest.RandomQuery(rng, g0, 4)
+				if q == nil {
+					continue
+				}
+				s := algotest.RandomStream(rng, g0, 12, 0.8, 1)
+
+				run := func(threads int) (uint64, uint64) {
+					eng := New(f.New(), Threads(threads), InterUpdate(false),
+						EscalateNodes(16), SplitDepth(3))
+					if err := eng.Init(g0.Clone(), q); err != nil {
+						t.Fatal(err)
+					}
+					st, err := eng.Run(context.Background(), s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return st.Positive, st.Negative
+				}
+				wantPos, wantNeg := run(1)
+				for _, threads := range []int{2, 4, 8} {
+					gotPos, gotNeg := run(threads)
+					if gotPos != wantPos || gotNeg != wantNeg {
+						t.Fatalf("seed %d threads %d: (+%d,-%d) != sequential (+%d,-%d)",
+							seed, threads, gotPos, gotNeg, wantPos, wantNeg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerPoolWithoutLoadBalance: disabling re-splitting must not change
+// results, only scheduling.
+func TestWorkerPoolWithoutLoadBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g0 := algotest.RandomGraph(rng, 60, 600, 1, 1)
+	q := algotest.RandomQuery(rng, g0, 4)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g0, 10, 0.9, 1)
+	f := algotest.Factories()[2] // GraphFlow
+
+	run := func(balance bool) uint64 {
+		eng := New(f.New(), Threads(4), InterUpdate(false),
+			EscalateNodes(16), LoadBalance(balance))
+		if err := eng.Init(g0.Clone(), q); err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Run(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Positive
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("balanced %d != unbalanced %d", a, b)
+	}
+}
+
+// TestWorkerPoolOnMatchSerialized: the OnMatch callback must observe every
+// match exactly once even when emitted from many workers.
+func TestWorkerPoolOnMatchSerialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g0 := algotest.RandomGraph(rng, 50, 500, 1, 1)
+	q := algotest.RandomQuery(rng, g0, 4)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g0, 8, 1.0, 1)
+	f := algotest.Factories()[2]
+
+	eng := New(f.New(), Threads(4), InterUpdate(false), EscalateNodes(16))
+	if err := eng.Init(g0.Clone(), q); err != nil {
+		t.Fatal(err)
+	}
+	var callbackCount uint64
+	eng.OnMatch = func(st *csm.State, count uint64, positive bool) { callbackCount += count }
+	st, err := eng.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callbackCount != st.Positive+st.Negative {
+		t.Fatalf("OnMatch saw %d, stats report %d", callbackCount, st.Positive+st.Negative)
+	}
+}

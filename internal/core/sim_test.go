@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"paracosm/internal/algo/algotest"
+	"paracosm/internal/refmatch"
+)
+
+func TestLPTMakespanBasics(t *testing.T) {
+	// Tasks 5,4,3,3,3 on 2 workers: LPT gives {5,3,3}=11? greedy:
+	// 5->w0, 4->w1, 3->w1(7), 3->w0(8), 3->w1(10) => makespan 10.
+	m, loads := lptMakespan([]uint64{5, 4, 3, 3, 3}, 2)
+	if m != 10 {
+		t.Fatalf("makespan = %d, want 10 (loads %v)", m, loads)
+	}
+	if loads[0]+loads[1] != 18 {
+		t.Fatalf("loads don't conserve work: %v", loads)
+	}
+}
+
+func TestLPTEmptyAndSingle(t *testing.T) {
+	if m, _ := lptMakespan(nil, 4); m != 0 {
+		t.Fatalf("empty makespan = %d", m)
+	}
+	if m, _ := lptMakespan([]uint64{7}, 4); m != 7 {
+		t.Fatalf("single-task makespan = %d", m)
+	}
+}
+
+func TestStaticMakespanRoundRobin(t *testing.T) {
+	// Round-robin of 4,4,1,1 on 2 workers: w0={4,1}=5, w1={4,1}=5.
+	m, _ := staticMakespan([]uint64{4, 4, 1, 1}, 2)
+	if m != 5 {
+		t.Fatalf("static makespan = %d, want 5", m)
+	}
+	// Adversarial order: 4,1,4,1 -> w0={4,4}=8.
+	m, _ = staticMakespan([]uint64{4, 1, 4, 1}, 2)
+	if m != 8 {
+		t.Fatalf("static makespan = %d, want 8", m)
+	}
+}
+
+// Property: LPT makespan is bounded below by both max task and total/n,
+// above by total; and never exceeds the static round-robin makespan by
+// more than rounding (LPT is the balanced schedule).
+func TestMakespanProperties(t *testing.T) {
+	f := func(raw []uint16, n8 uint8) bool {
+		n := 1 + int(n8%16)
+		tasks := make([]uint64, len(raw))
+		var total, max uint64
+		for i, r := range raw {
+			tasks[i] = uint64(r)
+			total += uint64(r)
+			if uint64(r) > max {
+				max = uint64(r)
+			}
+		}
+		m, loads := lptMakespan(tasks, n)
+		var sum uint64
+		for _, l := range loads {
+			sum += l
+		}
+		if sum != total {
+			return false
+		}
+		if m < max || m > total {
+			return len(tasks) == 0 && m == 0
+		}
+		lower := (total + uint64(n) - 1) / uint64(n)
+		if m < lower {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulateMatchesReference: simulate mode changes only timing, never
+// results.
+func TestSimulateMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g0 := algotest.RandomGraph(rng, 30, 70, 2, 1)
+		q := algotest.RandomQuery(rng, g0, 4)
+		if q == nil {
+			continue
+		}
+		s := algotest.RandomStream(rng, g0, 40, 0.7, 1)
+		wantPos, wantNeg := totalsVsReference(g0, q, s, refmatch.Options{})
+		f := algotest.Factories()[2] // GraphFlow
+		eng := New(f.New(), Threads(16), Simulate(true), InterUpdate(true), EscalateNodes(8))
+		if err := eng.Init(g0.Clone(), q); err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Run(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Positive != wantPos || st.Negative != wantNeg {
+			t.Fatalf("seed %d: simulate totals (+%d,-%d) != reference (+%d,-%d)",
+				seed, st.Positive, st.Negative, wantPos, wantNeg)
+		}
+	}
+}
+
+// TestSimulatedSpeedupOnHeavyTree: on a dense single-label workload the
+// simulated 16-worker find time must be well below the 1-thread find time,
+// and balanced scheduling must not be slower than unbalanced.
+func TestSimulatedSpeedupOnHeavyTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g0 := algotest.RandomGraph(rng, 80, 1200, 1, 1)
+	q := algotest.RandomQuery(rng, g0, 5)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g0, 10, 1.0, 1)
+	f := algotest.Factories()[2] // GraphFlow
+
+	run := func(threads int, sim, balance bool) time.Duration {
+		eng := New(f.New(), Threads(threads), Simulate(sim), InterUpdate(false), LoadBalance(balance))
+		if err := eng.Init(g0.Clone(), q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(context.Background(), s); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats().TFind
+	}
+
+	seq := run(1, false, true)
+	par := run(16, true, true)
+	unbal := run(16, true, false)
+	if seq < 2*time.Millisecond {
+		t.Skipf("workload too light to judge (%v)", seq)
+	}
+	if par >= seq {
+		t.Fatalf("simulated 16-worker find (%v) not faster than sequential (%v)", par, seq)
+	}
+	if unbal < par/2 {
+		t.Fatalf("unbalanced (%v) dramatically faster than balanced (%v)?", unbal, par)
+	}
+}
+
+// TestSimulatedThreadBusySpread: balanced simulation must produce tighter
+// per-worker loads than unbalanced.
+func TestSimulatedThreadBusySpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g0 := algotest.RandomGraph(rng, 80, 1200, 1, 1)
+	q := algotest.RandomQuery(rng, g0, 5)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g0, 8, 1.0, 1)
+	f := algotest.Factories()[2]
+
+	spread := func(balance bool) float64 {
+		eng := New(f.New(), Threads(8), Simulate(true), InterUpdate(false), LoadBalance(balance))
+		if err := eng.Init(g0.Clone(), q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(context.Background(), s); err != nil {
+			t.Fatal(err)
+		}
+		busy := eng.Stats().ThreadBusy
+		if len(busy) == 0 {
+			t.Skip("no parallel phase engaged")
+		}
+		min, max := busy[0], busy[0]
+		for _, b := range busy {
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		if max == 0 {
+			t.Skip("no load recorded")
+		}
+		return float64(max-min) / float64(max)
+	}
+	if sb, su := spread(true), spread(false); sb > su+0.05 {
+		t.Fatalf("balanced spread %.3f worse than unbalanced %.3f", sb, su)
+	}
+}

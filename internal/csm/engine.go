@@ -1,0 +1,209 @@
+package csm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// ErrDeadline is returned by Run/ProcessUpdate when the context expires
+// mid-enumeration; it is what the success-rate experiments count as a
+// timeout.
+var ErrDeadline = errors.New("csm: deadline exceeded during enumeration")
+
+// Delta is the result of processing a single update ΔG: the incremental
+// match counts ΔM plus instrumentation.
+type Delta struct {
+	Positive uint64 // newly appearing matches
+	Negative uint64 // expired matches
+	Nodes    uint64 // search-tree nodes visited
+	TADS     time.Duration
+	TFind    time.Duration
+}
+
+// Stats accumulates per-run instrumentation; it backs Table 3's breakdown
+// (ADS update time vs Find Matches time).
+type Stats struct {
+	Updates  int
+	Positive uint64
+	Negative uint64
+	Nodes    uint64
+	TADS     time.Duration
+	TFind    time.Duration
+	TTotal   time.Duration
+}
+
+// ADSShare returns the fraction of total time spent updating the ADS.
+func (s Stats) ADSShare() float64 {
+	if s.TTotal <= 0 {
+		return 0
+	}
+	return float64(s.TADS) / float64(s.TTotal)
+}
+
+// FindShare returns the fraction of total time spent finding matches.
+func (s Stats) FindShare() float64 {
+	if s.TTotal <= 0 {
+		return 0
+	}
+	return float64(s.TFind) / float64(s.TTotal)
+}
+
+// MatchFunc observes a complete match. count is usually 1; counting-mode
+// algorithms may report a leaf standing for count matches. positive is
+// false for matches expiring due to a deletion.
+type MatchFunc func(s *State, count uint64, positive bool)
+
+// Engine drives a single Algorithm through Algorithm 1 of the paper,
+// sequentially. It is the single-threaded baseline ParaCOSM is compared
+// against, and the building block ParaCOSM's executors reuse for unsafe
+// updates.
+type Engine struct {
+	algo Algorithm
+	g    *graph.Graph
+	q    *query.Graph
+
+	// OnMatch, if non-nil, is invoked for every match found.
+	OnMatch MatchFunc
+
+	// checkEvery controls how often the deadline is polled during
+	// enumeration (in search-tree nodes).
+	checkEvery uint64
+
+	stats Stats
+}
+
+// NewEngine creates an engine around algo. Init must be called before
+// processing updates.
+func NewEngine(algo Algorithm) *Engine {
+	return &Engine{algo: algo, checkEvery: 4096}
+}
+
+// Algo returns the wrapped algorithm.
+func (e *Engine) Algo() Algorithm { return e.algo }
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Query returns the engine's query graph.
+func (e *Engine) Query() *query.Graph { return e.q }
+
+// Stats returns accumulated instrumentation.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the accumulated instrumentation.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// Init runs the offline stage (Build_ADS / Build_Match_Order).
+func (e *Engine) Init(g *graph.Graph, q *query.Graph) error {
+	if g == nil || q == nil {
+		return fmt.Errorf("csm: nil graph or query")
+	}
+	e.g, e.q = g, q
+	return e.algo.Build(g, q)
+}
+
+// ProcessUpdate executes one iteration of Algorithm 1's online loop.
+// The update is applied to the data graph as a side effect. If the context
+// expires during enumeration, the graph and ADS are still left consistent
+// (the update is fully applied) but the returned Delta undercounts and err
+// is ErrDeadline — matching the paper's timeout semantics where the run is
+// marked unsuccessful.
+func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (Delta, error) {
+	var d Delta
+	var err error
+	t0 := time.Now()
+	switch upd.Op {
+	case stream.AddEdge:
+		if err = upd.Apply(e.g); err != nil {
+			return d, err
+		}
+		tA := time.Now()
+		e.algo.UpdateADS(upd)
+		d.TADS = time.Since(tA)
+		tF := time.Now()
+		d.Positive, d.Nodes, err = e.findMatches(ctx, upd, true)
+		d.TFind = time.Since(tF)
+
+	case stream.DeleteEdge:
+		// Deletions enumerate first: negative matches only exist while
+		// the edge is still present (§2.2).
+		tF := time.Now()
+		d.Negative, d.Nodes, err = e.findMatches(ctx, upd, false)
+		d.TFind = time.Since(tF)
+		if aerr := upd.Apply(e.g); aerr != nil {
+			return d, aerr
+		}
+		tA := time.Now()
+		e.algo.UpdateADS(upd)
+		d.TADS = time.Since(tA)
+
+	case stream.AddVertex, stream.DeleteVertex:
+		// Isolated-vertex updates cannot affect any match (§2.2); apply
+		// and maintain the ADS, no search.
+		if err = upd.Apply(e.g); err != nil {
+			return d, err
+		}
+		tA := time.Now()
+		e.algo.UpdateADS(upd)
+		d.TADS = time.Since(tA)
+
+	default:
+		return d, fmt.Errorf("csm: unknown op %v", upd.Op)
+	}
+
+	e.stats.Updates++
+	e.stats.Positive += d.Positive
+	e.stats.Negative += d.Negative
+	e.stats.Nodes += d.Nodes
+	e.stats.TADS += d.TADS
+	e.stats.TFind += d.TFind
+	e.stats.TTotal += time.Since(t0)
+	return d, err
+}
+
+// Run processes the whole stream, aborting on context expiry.
+func (e *Engine) Run(ctx context.Context, s stream.Stream) (Stats, error) {
+	for i, upd := range s {
+		if _, err := e.ProcessUpdate(ctx, upd); err != nil {
+			return e.stats, fmt.Errorf("update %d (%v): %w", i, upd, err)
+		}
+	}
+	return e.stats, nil
+}
+
+// findMatches traverses the search tree of upd depth-first (the function
+// Find_Matches of Algorithm 1).
+func (e *Engine) findMatches(ctx context.Context, upd stream.Update, positive bool) (total, nodes uint64, err error) {
+	deadline, hasDeadline := ctx.Deadline()
+	aborted := false
+	var dfs func(s *State)
+	dfs = func(s *State) {
+		if aborted {
+			return
+		}
+		nodes++
+		if hasDeadline && nodes%e.checkEvery == 0 && time.Now().After(deadline) {
+			aborted = true
+			return
+		}
+		if c, done := e.algo.Terminal(s); done {
+			total += c
+			if e.OnMatch != nil {
+				e.OnMatch(s, c, positive)
+			}
+			return
+		}
+		e.algo.Expand(s, func(child State) { dfs(&child) })
+	}
+	e.algo.Roots(upd, func(root State) { dfs(&root) })
+	if aborted || (hasDeadline && ctx.Err() != nil) {
+		return total, nodes, ErrDeadline
+	}
+	return total, nodes, nil
+}

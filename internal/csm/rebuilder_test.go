@@ -1,0 +1,27 @@
+package csm
+
+import "testing"
+
+// rebuildAlgo implements Rebuilder for interface-shape verification.
+type rebuildAlgo struct {
+	pathAlgo
+	consistent bool
+}
+
+func (r *rebuildAlgo) RebuildADS() bool { return r.consistent }
+
+func TestRebuilderInterface(t *testing.T) {
+	var a Algorithm = &rebuildAlgo{consistent: true}
+	reb, ok := a.(Rebuilder)
+	if !ok {
+		t.Fatal("rebuildAlgo does not satisfy Rebuilder")
+	}
+	if !reb.RebuildADS() {
+		t.Fatal("RebuildADS = false")
+	}
+	// Plain pathAlgo must NOT satisfy Rebuilder (it has no ADS).
+	var b Algorithm = &pathAlgo{}
+	if _, ok := b.(Rebuilder); ok {
+		t.Fatal("pathAlgo unexpectedly satisfies Rebuilder")
+	}
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLabelSamplerUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := newLabelSampler(rng, 4, 0) // skew 0 = uniform
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[s.sample()]++
+	}
+	for l, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("uniform label %d count %d, want ~10000", l, c)
+		}
+	}
+}
+
+func TestLabelSamplerZipfOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := newLabelSampler(rng, 8, 1.0)
+	counts := make([]int, 8)
+	for i := 0; i < 80000; i++ {
+		counts[s.sample()]++
+	}
+	// Zipf: counts must be (statistically) decreasing in label rank, and
+	// label 0 must dominate label 7 by roughly its 8x theoretical ratio.
+	for l := 1; l < 8; l++ {
+		if counts[l] > counts[l-1]+800 {
+			t.Fatalf("Zipf counts not decreasing: %v", counts)
+		}
+	}
+	if counts[0] < 4*counts[7] {
+		t.Fatalf("skew too weak: %v", counts)
+	}
+}
+
+func TestLabelSamplerSingleLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := newLabelSampler(rng, 1, 0.9)
+	for i := 0; i < 100; i++ {
+		if s.sample() != 0 {
+			t.Fatal("single-label sampler returned nonzero")
+		}
+	}
+}
+
+func TestLabelSamplerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, skew := range []float64{0, 0.5, 1.5} {
+		s := newLabelSampler(rng, 5, skew)
+		for i := 0; i < 5000; i++ {
+			if l := s.sample(); int(l) >= 5 {
+				t.Fatalf("skew %v: label %d out of range", skew, l)
+			}
+		}
+	}
+}

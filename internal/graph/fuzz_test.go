@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the graph codec never panics on arbitrary input and
+// that anything it accepts round-trips through Write/Read losslessly.
+func FuzzRead(f *testing.F) {
+	f.Add("v 0 1\nv 1 2\ne 0 1 3\n")
+	f.Add("# comment\nv 0 0\n")
+	f.Add("e 0 1 2\n")
+	f.Add("v 0 0\nv 1 0\ne 0 1\ne 1 0 5\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of Write output: %v\n%s", err, buf.String())
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)",
+				g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Label(VertexID(v)) != h.Label(VertexID(v)) {
+				t.Fatalf("label of %d changed", v)
+			}
+			if g.Degree(VertexID(v)) != h.Degree(VertexID(v)) {
+				t.Fatalf("degree of %d changed", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,243 @@
+// Package graph implements the dynamic labeled undirected graph used as the
+// data graph G in continuous subgraph matching (Definition 2.1 of the
+// ParaCOSM paper). Vertices and edges both carry labels; adjacency lists are
+// kept sorted by neighbor ID so that membership tests, insertions and
+// deletions are O(log d) + O(d) memmove, and neighbor intersection during
+// enumeration is cache friendly.
+//
+// Concurrency contract: a Graph is safe for concurrent readers. Mutations
+// must either be externally serialized, or go through the Locked* methods,
+// which acquire the per-vertex shard locks (see locks.go) and may run
+// concurrently with each other and with Locked reads. This is exactly the
+// access pattern of ParaCOSM's batch executor: classification performs
+// locked reads while safe updates are applied with locked writes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies a data-graph vertex.
+type VertexID uint32
+
+// NoVertex is the sentinel for "no vertex" in partial embeddings.
+const NoVertex = ^VertexID(0)
+
+// Label is a vertex or edge label drawn from the finite alphabets
+// Sigma_V / Sigma_E of the labeled graph.
+type Label uint32
+
+// NoLabel marks the absence of an edge label (datasets with |L(E)| = 1 use
+// label 0 for every edge; NoLabel is only used as a lookup-miss sentinel).
+const NoLabel = ^Label(0)
+
+// Neighbor is one adjacency entry: the neighbor vertex and the label of the
+// connecting edge.
+type Neighbor struct {
+	ID     VertexID
+	ELabel Label
+}
+
+// Graph is a dynamic labeled undirected graph.
+type Graph struct {
+	labels  []Label      // vertex labels, indexed by VertexID
+	adj     [][]Neighbor // sorted adjacency lists
+	alive   []bool       // false once a vertex has been deleted
+	edges   int          // current number of edges
+	byLabel map[Label][]VertexID
+
+	locks  shardedLocks
+	edgeMu sync.Mutex // guards edges under Locked* mutations
+}
+
+// New returns an empty graph with capacity hints for n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		labels:  make([]Label, 0, n),
+		adj:     make([][]Neighbor, 0, n),
+		alive:   make([]bool, 0, n),
+		byLabel: make(map[Label][]VertexID),
+	}
+}
+
+// AddVertex appends a vertex with the given label and returns its ID.
+func (g *Graph) AddVertex(l Label) VertexID {
+	id := VertexID(len(g.labels))
+	g.labels = append(g.labels, l)
+	g.adj = append(g.adj, nil)
+	g.alive = append(g.alive, true)
+	g.byLabel[l] = append(g.byLabel[l], id)
+	return id
+}
+
+// DeleteVertex removes an isolated vertex. It panics if the vertex still has
+// incident edges (the CSM update model only deletes isolated vertices; edge
+// deletions must come first).
+func (g *Graph) DeleteVertex(v VertexID) {
+	if len(g.adj[v]) != 0 {
+		panic(fmt.Sprintf("graph: DeleteVertex(%d): vertex not isolated (degree %d)", v, len(g.adj[v])))
+	}
+	g.alive[v] = false
+	l := g.labels[v]
+	s := g.byLabel[l]
+	for i, id := range s {
+		if id == v {
+			g.byLabel[l] = append(s[:i], s[i+1:]...)
+			break
+		}
+	}
+}
+
+// Alive reports whether v exists and has not been deleted.
+func (g *Graph) Alive(v VertexID) bool {
+	return int(v) < len(g.alive) && g.alive[v]
+}
+
+// NumVertices returns the number of vertex slots ever allocated (including
+// deleted ones); use Alive to test liveness.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns the current number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v VertexID) Label { return g.labels[v] }
+
+// Degree returns the current degree of v.
+func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified; it is invalidated by
+// the next mutation of v's adjacency.
+func (g *Graph) Neighbors(v VertexID) []Neighbor { return g.adj[v] }
+
+// VerticesWithLabel returns all live vertices carrying label l. The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) VerticesWithLabel(l Label) []VertexID { return g.byLabel[l] }
+
+// findNeighbor returns the index of u in v's adjacency list, or -1.
+func (g *Graph) findNeighbor(v, u VertexID) int {
+	a := g.adj[v]
+	i := sort.Search(len(a), func(i int) bool { return a[i].ID >= u })
+	if i < len(a) && a[i].ID == u {
+		return i
+	}
+	return -1
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	// Search from the lower-degree endpoint.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	return g.findNeighbor(u, v) >= 0
+}
+
+// EdgeLabel returns the label of edge (u,v) and whether the edge exists.
+func (g *Graph) EdgeLabel(u, v VertexID) (Label, bool) {
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	if i := g.findNeighbor(u, v); i >= 0 {
+		return g.adj[u][i].ELabel, true
+	}
+	return NoLabel, false
+}
+
+// AddEdge inserts the undirected edge (u,v) with label l. It reports whether
+// the edge was newly inserted (false if it already existed).
+func (g *Graph) AddEdge(u, v VertexID, l Label) bool {
+	if u == v {
+		return false // no self loops in the CSM model
+	}
+	if !g.insertHalf(u, v, l) {
+		return false
+	}
+	g.insertHalf(v, u, l)
+	g.edges++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u,v). It reports whether the edge
+// existed.
+func (g *Graph) RemoveEdge(u, v VertexID) bool {
+	if !g.removeHalf(u, v) {
+		return false
+	}
+	g.removeHalf(v, u)
+	g.edges--
+	return true
+}
+
+func (g *Graph) insertHalf(v, u VertexID, l Label) bool {
+	a := g.adj[v]
+	i := sort.Search(len(a), func(i int) bool { return a[i].ID >= u })
+	if i < len(a) && a[i].ID == u {
+		return false
+	}
+	a = append(a, Neighbor{})
+	copy(a[i+1:], a[i:])
+	a[i] = Neighbor{ID: u, ELabel: l}
+	g.adj[v] = a
+	return true
+}
+
+func (g *Graph) removeHalf(v, u VertexID) bool {
+	i := g.findNeighbor(v, u)
+	if i < 0 {
+		return false
+	}
+	a := g.adj[v]
+	g.adj[v] = append(a[:i], a[i+1:]...)
+	return true
+}
+
+// Clone returns a deep copy of the graph (used by the reference matcher to
+// snapshot state around an update).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels:  append([]Label(nil), g.labels...),
+		adj:     make([][]Neighbor, len(g.adj)),
+		alive:   append([]bool(nil), g.alive...),
+		edges:   g.edges,
+		byLabel: make(map[Label][]VertexID, len(g.byLabel)),
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]Neighbor(nil), a...)
+	}
+	for l, s := range g.byLabel {
+		c.byLabel[l] = append([]VertexID(nil), s...)
+	}
+	return c
+}
+
+// AvgDegree returns 2|E|/|V| over live vertices.
+func (g *Graph) AvgDegree() float64 {
+	n := 0
+	for _, a := range g.alive {
+		if a {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(n)
+}
+
+// MaxDegree returns the maximum degree over live vertices.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := range g.adj {
+		if g.alive[v] && len(g.adj[v]) > m {
+			m = len(g.adj[v])
+		}
+	}
+	return m
+}
+
+// NumLabels returns the number of distinct vertex labels in use.
+func (g *Graph) NumLabels() int { return len(g.byLabel) }

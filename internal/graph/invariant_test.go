@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLabelIndexConsistency: VerticesWithLabel must list exactly the live
+// vertices carrying each label, under arbitrary vertex/edge churn.
+func TestLabelIndexConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(0)
+		var live []VertexID
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(5) {
+			case 0, 1: // add vertex
+				live = append(live, g.AddVertex(Label(rng.Intn(4))))
+			case 2, 3: // add/remove edge between live vertices
+				if len(live) >= 2 {
+					u := live[rng.Intn(len(live))]
+					v := live[rng.Intn(len(live))]
+					if g.HasEdge(u, v) {
+						g.RemoveEdge(u, v)
+					} else {
+						g.AddEdge(u, v, 0)
+					}
+				}
+			case 4: // delete an isolated vertex if any
+				for i, v := range live {
+					if g.Degree(v) == 0 {
+						g.DeleteVertex(v)
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		// Verify the label index against ground truth.
+		want := map[Label]map[VertexID]bool{}
+		for _, v := range live {
+			l := g.Label(v)
+			if want[l] == nil {
+				want[l] = map[VertexID]bool{}
+			}
+			want[l][v] = true
+		}
+		for l := Label(0); l < 4; l++ {
+			got := g.VerticesWithLabel(l)
+			if len(got) != len(want[l]) {
+				return false
+			}
+			for _, v := range got {
+				if !want[l][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeCountMatchesAdjacency: NumEdges is always half the sum of
+// degrees.
+func TestEdgeCountMatchesAdjacency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 24
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddVertex(0)
+		}
+		for step := 0; step < 100; step++ {
+			u := VertexID(rng.Intn(n))
+			v := VertexID(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				g.AddEdge(u, v, 0)
+			} else {
+				g.RemoveEdge(u, v)
+			}
+		}
+		degSum := 0
+		for v := 0; v < n; v++ {
+			degSum += g.Degree(VertexID(v))
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumLabels(t *testing.T) {
+	g := New(3)
+	g.AddVertex(2)
+	g.AddVertex(2)
+	g.AddVertex(7)
+	if g.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d, want 2", g.NumLabels())
+	}
+}

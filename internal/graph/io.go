@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec follows the format used by the CSM benchmark suite of
+// Sun et al. (VLDB'22), which the ParaCOSM paper's datasets are distributed
+// in:
+//
+//	v <id> <vertex-label>
+//	e <src> <dst> <edge-label>
+//
+// Vertex lines must precede edge lines referencing them. Lines starting
+// with '#' or '%' are comments.
+
+// Write serializes g in the text format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < len(g.labels); v++ {
+		if !g.alive[v] {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "v %d %d\n", v, g.labels[v]); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < len(g.adj); v++ {
+		for _, n := range g.adj[v] {
+			if VertexID(v) < n.ID { // emit each undirected edge once
+				if _, err := fmt.Fprintf(bw, "e %d %d %d\n", v, n.ID, n.ELabel); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format. Vertex IDs must be dense
+// (0..n-1); sparse IDs are rejected to keep the in-memory layout compact.
+func Read(r io.Reader) (*Graph, error) {
+	g := New(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "v":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", lineNo, line)
+			}
+			id, err1 := strconv.ParseUint(f[1], 10, 32)
+			lab, err2 := strconv.ParseUint(f[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex fields %q", lineNo, line)
+			}
+			if VertexID(id) != VertexID(g.NumVertices()) {
+				return nil, fmt.Errorf("graph: line %d: non-dense vertex id %d (expected %d)", lineNo, id, g.NumVertices())
+			}
+			g.AddVertex(Label(lab))
+		case "e":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+			}
+			u, err1 := strconv.ParseUint(f[1], 10, 32)
+			v, err2 := strconv.ParseUint(f[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge fields %q", lineNo, line)
+			}
+			var lab uint64
+			if len(f) >= 4 {
+				var err error
+				lab, err = strconv.ParseUint(f[3], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad edge label %q", lineNo, f[3])
+				}
+			}
+			if int(u) >= g.NumVertices() || int(v) >= g.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: edge references unknown vertex", lineNo)
+			}
+			g.AddEdge(VertexID(u), VertexID(v), Label(lab))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,196 @@
+// Package metrics provides the measurement utilities the experiment
+// harness reports with: duration statistics, empirical CDFs (Figure 10)
+// and fixed-width ASCII tables matching the layout of the paper's tables.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary holds basic order statistics of a sample of durations.
+type Summary struct {
+	N             int
+	Min, Max      time.Duration
+	Mean          time.Duration
+	P50, P90, P99 time.Duration
+	Total         time.Duration
+}
+
+// Summarize computes order statistics; it copies and sorts the input.
+func Summarize(ds []time.Duration) Summary {
+	var s Summary
+	s.N = len(ds)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, d := range sorted {
+		s.Total += d
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	s.Mean = s.Total / time.Duration(s.N)
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// CDF is an empirical cumulative distribution function over durations.
+type CDF struct {
+	xs []time.Duration // sorted sample
+}
+
+// NewCDF builds an empirical CDF from a sample.
+func NewCDF(ds []time.Duration) *CDF {
+	xs := append([]time.Duration(nil), ds...)
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return &CDF{xs: xs}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x time.Duration) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the smallest x with P(X <= x) >= p.
+func (c *CDF) Quantile(p float64) time.Duration {
+	return percentile(c.xs, p)
+}
+
+// Points returns n evenly spaced (x, P(X<=x)) pairs spanning the sample
+// range, the series a CDF plot (Figure 10) is drawn from.
+func (c *CDF) Points(n int) []CDFPoint {
+	if len(c.xs) == 0 || n < 2 {
+		return nil
+	}
+	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
+	pts := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		x := lo + time.Duration(float64(hi-lo)*float64(i)/float64(n-1))
+		pts[i] = CDFPoint{X: x, P: c.At(x)}
+	}
+	return pts
+}
+
+// CDFPoint is one point of an empirical CDF curve.
+type CDFPoint struct {
+	X time.Duration
+	P float64
+}
+
+// Table accumulates rows and renders a fixed-width ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		return b.String()
+	}
+	sep := "+"
+	for _, wd := range widths {
+		sep += strings.Repeat("-", wd+2) + "+"
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	fmt.Fprintln(w, sep)
+	fmt.Fprintln(w, line(t.Headers))
+	fmt.Fprintln(w, sep)
+	for _, r := range t.rows {
+		fmt.Fprintln(w, line(r))
+	}
+	fmt.Fprintln(w, sep)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

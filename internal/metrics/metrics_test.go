@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{ms(10), ms(30), ms(20)})
+	if s.N != 3 || s.Min != ms(10) || s.Max != ms(30) || s.Mean != ms(20) || s.Total != ms(60) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P50 != ms(20) {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]time.Duration{ms(1), ms(2), ms(3), ms(4)})
+	if got := c.At(ms(2)); got != 0.5 {
+		t.Fatalf("At(2ms) = %v, want 0.5", got)
+	}
+	if got := c.At(ms(0)); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(ms(10)); got != 1 {
+		t.Fatalf("At(10ms) = %v", got)
+	}
+	if q := c.Quantile(0.5); q != ms(2) {
+		t.Fatalf("Quantile(0.5) = %v", q)
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	c := NewCDF([]time.Duration{ms(5), ms(1), ms(9), ms(3), ms(7)})
+	pts := c.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("Points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P || pts[i].X < pts[i-1].X {
+			t.Fatalf("CDF points not monotone at %d: %+v", i, pts)
+		}
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Fatalf("final CDF point = %v, want 1", pts[len(pts)-1].P)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X: demo", "name", "value", "time")
+	tb.AddRow("alpha", 1.5, ms(3))
+	tb.AddRow("beta", 200.5, ms(12))
+	out := tb.String()
+	for _, want := range []string{"Table X: demo", "alpha", "beta", "1.500", "200.5", "3ms", "| name", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableIntegerFloats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.0)
+	if !strings.Contains(tb.String(), " 3 ") {
+		t.Fatalf("integral float not compact: %s", tb.String())
+	}
+}

@@ -1,0 +1,127 @@
+package query
+
+import (
+	"sort"
+
+	"paracosm/internal/graph"
+)
+
+// BuildOrders precomputes, for every query edge e = (a,b), a matching order
+// that starts with {a,b} and extends one query vertex at a time such that
+// every added vertex has at least one already-ordered neighbor (a connected
+// order). Connected orders guarantee the compatible set of the next vertex
+// can always be seeded from a matched neighbor's adjacency, which is what
+// makes incremental search from an updated edge efficient (paper §2.2).
+//
+// Among eligible vertices the order prefers (1) more ordered neighbors
+// (maximizing pruning, RI-style), then (2) higher degree, then (3) lower id
+// for determinism.
+func (q *Graph) BuildOrders() {
+	q.orders = make([][]VertexID, len(q.edges))
+	for i, e := range q.edges {
+		q.orders[i] = q.buildOrderFrom(e.U, e.V)
+	}
+}
+
+func (q *Graph) buildOrderFrom(a, b VertexID) []VertexID {
+	n := len(q.labels)
+	order := make([]VertexID, 0, n)
+	inOrder := make([]bool, n)
+	order = append(order, a, b)
+	inOrder[a], inOrder[b] = true, true
+
+	backDeg := make([]int, n) // # neighbors already in order
+	for _, nb := range q.adj[a] {
+		backDeg[nb.ID]++
+	}
+	for _, nb := range q.adj[b] {
+		backDeg[nb.ID]++
+	}
+
+	for len(order) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] || backDeg[v] == 0 {
+				continue
+			}
+			if best < 0 {
+				best = v
+				continue
+			}
+			switch {
+			case backDeg[v] > backDeg[best]:
+				best = v
+			case backDeg[v] == backDeg[best] && len(q.adj[v]) > len(q.adj[best]):
+				best = v
+			}
+		}
+		if best < 0 {
+			// Disconnected queries are rejected in Finalize; this is
+			// unreachable for valid graphs but keeps the loop safe.
+			break
+		}
+		v := VertexID(best)
+		order = append(order, v)
+		inOrder[v] = true
+		for _, nb := range q.adj[v] {
+			backDeg[nb.ID]++
+		}
+	}
+	return order
+}
+
+// Order returns the matching order for query edge index e under the given
+// orientation. The first two entries are the edge endpoints in the order
+// the data edge maps onto them.
+func (q *Graph) Order(eo EdgeOrientation) []VertexID {
+	base := q.orders[eo.Index]
+	if !eo.Flipped {
+		return base
+	}
+	// Flipped orientation: swap the two seed vertices; the remaining order
+	// is still connected because the seed pair is unchanged as a set.
+	f := q.flippedOrder(eo.Index)
+	return f
+}
+
+// flippedOrder caches nothing: orders are tiny (<=16) and flips are rare
+// enough that rebuilding the 2-element swap on demand is cheaper than a
+// second table. It returns base with the first two entries swapped.
+func (q *Graph) flippedOrder(idx int) []VertexID {
+	base := q.orders[idx]
+	f := make([]VertexID, len(base))
+	copy(f, base)
+	f[0], f[1] = f[1], f[0]
+	return f
+}
+
+// BackwardNeighbors returns, for each position i in order, the positions
+// j < i whose vertex order[j] is adjacent to order[i], along with the edge
+// labels. Algorithms use this to validate candidate extensions: a data
+// vertex v is compatible at position i iff it is adjacent (with matching
+// edge labels) to the data vertices at every backward-neighbor position.
+func (q *Graph) BackwardNeighbors(order []VertexID) [][]BackEdge {
+	pos := make([]int, len(q.labels))
+	for i, u := range order {
+		pos[u] = i
+	}
+	out := make([][]BackEdge, len(order))
+	for i, u := range order {
+		var bs []BackEdge
+		for _, nb := range q.adj[u] {
+			if pos[nb.ID] < i {
+				bs = append(bs, BackEdge{Pos: pos[nb.ID], ELabel: nb.ELabel})
+			}
+		}
+		sort.Slice(bs, func(a, b int) bool { return bs[a].Pos < bs[b].Pos })
+		out[i] = bs
+	}
+	return out
+}
+
+// BackEdge is a backward constraint in a matching order: the current query
+// vertex is adjacent to the vertex at position Pos with edge label ELabel.
+type BackEdge struct {
+	Pos    int
+	ELabel graph.Label
+}

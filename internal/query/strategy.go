@@ -1,0 +1,92 @@
+package query
+
+import "math/rand"
+
+// OrderStrategy selects how per-edge matching orders are constructed.
+// The order determines which query vertex each search level binds and is
+// the single biggest lever on search-tree size; the "ablation-order"
+// experiment quantifies the differences.
+type OrderStrategy int
+
+const (
+	// OrderBackDeg (the default) greedily picks the vertex with the most
+	// already-ordered neighbors, maximizing backward constraints per
+	// level (RI-style). Ties break toward higher degree.
+	OrderBackDeg OrderStrategy = iota
+	// OrderDegree picks the highest-degree eligible vertex regardless of
+	// how many of its neighbors are already ordered (GraphQL-style).
+	OrderDegree
+	// OrderRandom picks uniformly among eligible (connected) vertices —
+	// the no-heuristic lower bound.
+	OrderRandom
+)
+
+// String returns the strategy's display name.
+func (s OrderStrategy) String() string {
+	switch s {
+	case OrderBackDeg:
+		return "backdeg"
+	case OrderDegree:
+		return "degree"
+	case OrderRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// BuildOrdersWithStrategy rebuilds all per-edge matching orders using the
+// given strategy. seed is used only by OrderRandom (deterministic given
+// the seed). Finalize installs OrderBackDeg; callers may switch afterwards.
+func (q *Graph) BuildOrdersWithStrategy(s OrderStrategy, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	q.orders = make([][]VertexID, len(q.edges))
+	for i, e := range q.edges {
+		q.orders[i] = q.buildOrderStrategy(e.U, e.V, s, rng)
+	}
+}
+
+func (q *Graph) buildOrderStrategy(a, b VertexID, strat OrderStrategy, rng *rand.Rand) []VertexID {
+	if strat == OrderBackDeg {
+		return q.buildOrderFrom(a, b)
+	}
+	n := len(q.labels)
+	order := make([]VertexID, 0, n)
+	inOrder := make([]bool, n)
+	backDeg := make([]int, n)
+	add := func(v VertexID) {
+		order = append(order, v)
+		inOrder[v] = true
+		for _, nb := range q.adj[v] {
+			backDeg[nb.ID]++
+		}
+	}
+	add(a)
+	add(b)
+	for len(order) < n {
+		var eligible []VertexID
+		for v := 0; v < n; v++ {
+			if !inOrder[v] && backDeg[v] > 0 {
+				eligible = append(eligible, VertexID(v))
+			}
+		}
+		if len(eligible) == 0 {
+			break
+		}
+		var pick VertexID
+		switch strat {
+		case OrderDegree:
+			pick = eligible[0]
+			for _, v := range eligible[1:] {
+				if len(q.adj[v]) > len(q.adj[pick]) {
+					pick = v
+				}
+			}
+		case OrderRandom:
+			pick = eligible[rng.Intn(len(eligible))]
+		default:
+			pick = eligible[0]
+		}
+		add(pick)
+	}
+	return order
+}

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"paracosm/internal/graph"
+)
+
+func strategyFixture(t *testing.T) *Graph {
+	t.Helper()
+	q := MustNew([]graph.Label{0, 1, 2, 1, 0})
+	q.MustAddEdge(0, 1, 0)
+	q.MustAddEdge(1, 2, 0)
+	q.MustAddEdge(2, 3, 0)
+	q.MustAddEdge(3, 4, 0)
+	q.MustAddEdge(1, 3, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func validateOrders(t *testing.T, q *Graph, name string) {
+	t.Helper()
+	for i, e := range q.Edges() {
+		ord := q.Order(EdgeOrientation{Index: i})
+		if len(ord) != q.NumVertices() {
+			t.Fatalf("%s: edge %d order %v wrong length", name, i, ord)
+		}
+		if ord[0] != e.U || ord[1] != e.V {
+			t.Fatalf("%s: edge %d order %v does not start with edge", name, i, ord)
+		}
+		seen := map[VertexID]bool{}
+		for _, v := range ord {
+			if seen[v] {
+				t.Fatalf("%s: duplicate vertex in %v", name, ord)
+			}
+			seen[v] = true
+		}
+		for pos := 1; pos < len(ord); pos++ {
+			connected := false
+			for _, nb := range q.Neighbors(ord[pos]) {
+				for p := 0; p < pos; p++ {
+					if ord[p] == nb.ID {
+						connected = true
+					}
+				}
+			}
+			if !connected {
+				t.Fatalf("%s: order %v not connected at %d", name, ord, pos)
+			}
+		}
+	}
+}
+
+func TestAllStrategiesProduceValidOrders(t *testing.T) {
+	q := strategyFixture(t)
+	for _, s := range []OrderStrategy{OrderBackDeg, OrderDegree, OrderRandom} {
+		q.BuildOrdersWithStrategy(s, 7)
+		validateOrders(t, q, s.String())
+	}
+}
+
+func TestRandomStrategyIsSeedDeterministic(t *testing.T) {
+	q := strategyFixture(t)
+	q.BuildOrdersWithStrategy(OrderRandom, 42)
+	a := append([]VertexID(nil), q.Order(EdgeOrientation{Index: 0})...)
+	q.BuildOrdersWithStrategy(OrderRandom, 42)
+	b := q.Order(EdgeOrientation{Index: 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed gave %v then %v", a, b)
+		}
+	}
+}
+
+func TestBackDegMatchesDefault(t *testing.T) {
+	q := strategyFixture(t)
+	def := append([]VertexID(nil), q.Order(EdgeOrientation{Index: 0})...)
+	q.BuildOrdersWithStrategy(OrderBackDeg, 0)
+	got := q.Order(EdgeOrientation{Index: 0})
+	for i := range def {
+		if def[i] != got[i] {
+			t.Fatalf("BackDeg strategy %v differs from Finalize default %v", got, def)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if OrderBackDeg.String() != "backdeg" || OrderDegree.String() != "degree" ||
+		OrderRandom.String() != "random" || OrderStrategy(99).String() != "unknown" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+// Random strategy over many seeds still always yields connected orders.
+func TestRandomStrategyAlwaysConnected(t *testing.T) {
+	q := strategyFixture(t)
+	for seed := int64(0); seed < 30; seed++ {
+		q.BuildOrdersWithStrategy(OrderRandom, seed)
+		validateOrders(t, q, "random")
+	}
+	_ = rand.Int
+}

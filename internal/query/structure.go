@@ -1,0 +1,179 @@
+package query
+
+import "sort"
+
+// SpanningTree is a rooted BFS spanning tree of the query graph, the shape
+// TurboFlux's data-centric graph (DCG) is organized around. Non-tree query
+// edges are kept separately and validated during enumeration.
+type SpanningTree struct {
+	Root     VertexID
+	Parent   []VertexID   // Parent[Root] == Root
+	Children [][]VertexID // tree children per vertex
+	NonTree  []Edge       // query edges not in the tree
+	BFSOrder []VertexID   // root first
+}
+
+// BuildSpanningTree builds a BFS spanning tree rooted at the query vertex
+// with the highest degree (ties: lowest id), matching TurboFlux's heuristic
+// of rooting the DCG at the most selective hub.
+func (q *Graph) BuildSpanningTree() *SpanningTree {
+	n := len(q.labels)
+	root := VertexID(0)
+	for v := 1; v < n; v++ {
+		if len(q.adj[v]) > len(q.adj[root]) {
+			root = VertexID(v)
+		}
+	}
+	t := &SpanningTree{
+		Root:     root,
+		Parent:   make([]VertexID, n),
+		Children: make([][]VertexID, n),
+	}
+	inTree := make([]bool, n)
+	t.Parent[root] = root
+	inTree[root] = true
+	queue := []VertexID{root}
+	t.BFSOrder = append(t.BFSOrder, root)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range q.adj[u] {
+			if !inTree[nb.ID] {
+				inTree[nb.ID] = true
+				t.Parent[nb.ID] = u
+				t.Children[u] = append(t.Children[u], nb.ID)
+				queue = append(queue, nb.ID)
+				t.BFSOrder = append(t.BFSOrder, nb.ID)
+			}
+		}
+	}
+	treeEdge := func(a, b VertexID) bool {
+		return t.Parent[a] == b || t.Parent[b] == a
+	}
+	for _, e := range q.edges {
+		if !treeEdge(e.U, e.V) {
+			t.NonTree = append(t.NonTree, e)
+		}
+	}
+	return t
+}
+
+// DAG is the BFS-directed acyclic version of the query graph used by
+// Symbi's dynamic candidate space (DCS): every edge is directed from the
+// vertex closer to the root (parents point to children).
+type DAG struct {
+	Root     VertexID
+	Parents  [][]Neighbor // incoming edges per vertex (from closer to root)
+	Children [][]Neighbor // outgoing edges per vertex
+	TopoOrd  []VertexID   // topological order, root first
+}
+
+// BuildDAG directs every query edge by BFS level from the root with the
+// highest (degree / label frequency is unknown here, so degree) rank;
+// within a level, lower id is closer to the root. This reproduces the
+// q-DAG construction of Symbi.
+func (q *Graph) BuildDAG() *DAG {
+	n := len(q.labels)
+	root := VertexID(0)
+	for v := 1; v < n; v++ {
+		if len(q.adj[v]) > len(q.adj[root]) {
+			root = VertexID(v)
+		}
+	}
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	queue := []VertexID{root}
+	var topo []VertexID
+	topo = append(topo, root)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range q.adj[u] {
+			if level[nb.ID] < 0 {
+				level[nb.ID] = level[u] + 1
+				queue = append(queue, nb.ID)
+				topo = append(topo, nb.ID)
+			}
+		}
+	}
+	d := &DAG{
+		Root:     root,
+		Parents:  make([][]Neighbor, n),
+		Children: make([][]Neighbor, n),
+		TopoOrd:  topo,
+	}
+	// before reports whether a precedes b in the BFS layering (a is the
+	// parent side of the directed edge).
+	before := func(a, b VertexID) bool {
+		if level[a] != level[b] {
+			return level[a] < level[b]
+		}
+		return a < b
+	}
+	for _, e := range q.edges {
+		u, v := e.U, e.V
+		if !before(u, v) {
+			u, v = v, u
+		}
+		d.Children[u] = append(d.Children[u], Neighbor{ID: v, ELabel: e.ELabel})
+		d.Parents[v] = append(d.Parents[v], Neighbor{ID: u, ELabel: e.ELabel})
+	}
+	// TopoOrd from BFS levels is a valid topological order because every
+	// edge goes from a lower (level,id) pair to a higher one; re-sort to
+	// make that invariant explicit and deterministic.
+	sort.SliceStable(d.TopoOrd, func(i, j int) bool {
+		return before(d.TopoOrd[i], d.TopoOrd[j])
+	})
+	return d
+}
+
+// VertexCover returns a greedy minimal vertex cover of the query graph --
+// CaLiG's kernel vertices. The complement (shell vertices) forms an
+// independent set, so once all kernels are matched every shell vertex's
+// candidates are determined independently.
+func (q *Graph) VertexCover() (kernel, shell []VertexID) {
+	n := len(q.labels)
+	covered := make([]bool, len(q.edges))
+	inKernel := make([]bool, n)
+	remaining := len(q.edges)
+	for remaining > 0 {
+		// Pick the vertex covering the most uncovered edges (ties: higher
+		// degree, then lower id).
+		bestV, bestC := -1, 0
+		for v := 0; v < n; v++ {
+			if inKernel[v] {
+				continue
+			}
+			c := 0
+			for i, e := range q.edges {
+				if !covered[i] && (int(e.U) == v || int(e.V) == v) {
+					c++
+				}
+			}
+			if c > bestC || (c == bestC && c > 0 && bestV >= 0 && len(q.adj[v]) > len(q.adj[bestV])) {
+				bestV, bestC = v, c
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		inKernel[bestV] = true
+		for i, e := range q.edges {
+			if !covered[i] && (int(e.U) == bestV || int(e.V) == bestV) {
+				covered[i] = true
+				remaining--
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if inKernel[v] {
+			kernel = append(kernel, VertexID(v))
+		} else {
+			shell = append(shell, VertexID(v))
+		}
+	}
+	return kernel, shell
+}

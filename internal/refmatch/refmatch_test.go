@@ -1,0 +1,204 @@
+package refmatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// trianglesGraph: data graph with two labeled triangles sharing an edge.
+//
+//	0(a)-1(b), 1-2(c), 2-0, 1-3(c), 3-0  => triangles {0,1,2} and {0,1,3}
+func trianglesGraph() *graph.Graph {
+	g := graph.New(4)
+	g.AddVertex(0) // a
+	g.AddVertex(1) // b
+	g.AddVertex(2) // c
+	g.AddVertex(2) // c
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	g.AddEdge(1, 3, 0)
+	g.AddEdge(3, 0, 0)
+	return g
+}
+
+func triangleQuery(t *testing.T) *query.Graph {
+	t.Helper()
+	q := query.MustNew([]graph.Label{0, 1, 2})
+	q.MustAddEdge(0, 1, 0)
+	q.MustAddEdge(1, 2, 0)
+	q.MustAddEdge(2, 0, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestCountTriangles(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	// Each labeled triangle has exactly one mapping (labels pin vertices):
+	// {0,1,2} and {0,1,3}.
+	if got := Count(g, q, Options{}); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestCountUnlabeledTriangleAutomorphisms(t *testing.T) {
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex(0)
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	q := query.MustNew([]graph.Label{0, 0, 0})
+	q.MustAddEdge(0, 1, 0)
+	q.MustAddEdge(1, 2, 0)
+	q.MustAddEdge(2, 0, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// All 3! injective mappings are matches.
+	if got := Count(g, q, Options{}); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+}
+
+func TestEdgeLabelsRespected(t *testing.T) {
+	g := graph.New(2)
+	g.AddVertex(0)
+	g.AddVertex(1)
+	g.AddEdge(0, 1, 5)
+	q := query.MustNew([]graph.Label{0, 1})
+	q.MustAddEdge(0, 1, 7)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Count(g, q, Options{}); got != 0 {
+		t.Fatalf("label-mismatched edge matched: %d", got)
+	}
+	if got := Count(g, q, Options{IgnoreELabels: true}); got != 1 {
+		t.Fatalf("IgnoreELabels: Count = %d, want 1", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	calls := 0
+	Enumerate(g, q, Options{}, func(m []graph.VertexID) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("Enumerate visited %d matches after stop", calls)
+	}
+}
+
+func TestMatchesMultiset(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	m := Matches(g, q, Options{})
+	total := 0
+	for _, c := range m {
+		total += c
+	}
+	if total != 2 || len(m) != 2 {
+		t.Fatalf("Matches = %v", m)
+	}
+}
+
+func TestDeltaInsertion(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	// Add vertex 4 labeled c and edge (1,4); then (4,0) closes a triangle.
+	g.AddVertex(2)
+	g.AddEdge(1, 4, 0)
+	pos, neg := Delta(g, q, stream.Update{Op: stream.AddEdge, U: 4, V: 0, ELabel: 0}, Options{})
+	if pos != 1 || neg != 0 {
+		t.Fatalf("Delta(+e) = (%d,%d), want (1,0)", pos, neg)
+	}
+}
+
+func TestDeltaDeletion(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	pos, neg := Delta(g, q, stream.Update{Op: stream.DeleteEdge, U: 0, V: 1}, Options{})
+	// Edge (0,1) is in both triangles.
+	if pos != 0 || neg != 2 {
+		t.Fatalf("Delta(-e) = (%d,%d), want (0,2)", pos, neg)
+	}
+}
+
+func TestDeltaDoesNotMutate(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	edges := g.NumEdges()
+	Delta(g, q, stream.Update{Op: stream.DeleteEdge, U: 0, V: 1}, Options{})
+	if g.NumEdges() != edges {
+		t.Fatal("Delta mutated the input graph")
+	}
+}
+
+func TestDeltaInapplicableUpdate(t *testing.T) {
+	g := trianglesGraph()
+	q := triangleQuery(t)
+	pos, neg := Delta(g, q, stream.Update{Op: stream.DeleteEdge, U: 2, V: 3}, Options{})
+	if g.HasEdge(2, 3) {
+		t.Fatal("test setup: edge should not exist")
+	}
+	if pos != 0 || neg != 0 {
+		t.Fatalf("Delta(inapplicable) = (%d,%d)", pos, neg)
+	}
+}
+
+// Property: Count is symmetric under relabeling of data vertex IDs
+// (building the same graph with a permuted insertion order must not change
+// the match count).
+func TestCountInvariantUnderInsertionOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 10
+		type e struct{ u, v graph.VertexID }
+		var edges []e
+		labels := make([]graph.Label, n)
+		for i := range labels {
+			labels[i] = graph.Label(rng.Intn(2))
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, e{graph.VertexID(u), graph.VertexID(v)})
+				}
+			}
+		}
+		build := func(perm []int) *graph.Graph {
+			g := graph.New(n)
+			for i := 0; i < n; i++ {
+				g.AddVertex(labels[i])
+			}
+			for _, i := range perm {
+				g.AddEdge(edges[i].u, edges[i].v, 0)
+			}
+			return g
+		}
+		p1 := rng.Perm(len(edges))
+		p2 := rng.Perm(len(edges))
+		q := query.MustNew([]graph.Label{0, 1, 0})
+		q.MustAddEdge(0, 1, 0)
+		q.MustAddEdge(1, 2, 0)
+		if q.Finalize() != nil {
+			return false
+		}
+		return Count(build(p1), q, Options{}) == Count(build(p2), q, Options{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the stream codec never panics and that accepted input
+// round-trips losslessly.
+func FuzzRead(f *testing.F) {
+	f.Add("+e 0 1 2\n-e 0 1\n+v 3\n-v 0\n")
+	f.Add("# c\n+e 1 1 1\n")
+	f.Add("-e 99999 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.Write(&buf); err != nil {
+			t.Fatalf("Write after Read: %v", err)
+		}
+		s2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read: %v", err)
+		}
+		if len(s2) != len(s) {
+			t.Fatalf("round trip length %d -> %d", len(s), len(s2))
+		}
+		for i := range s {
+			if s[i] != s2[i] {
+				t.Fatalf("update %d changed: %v -> %v", i, s[i], s2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"paracosm/internal/graph"
+)
+
+// Write serializes the stream, one update per line:
+//
+//	+e <u> <v> <elabel>
+//	-e <u> <v>
+//	+v <vlabel>
+//	-v <u>
+//
+// matching the insertion-stream format of the CSM benchmark suite.
+func (s Stream) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range s {
+		if _, err := fmt.Fprintln(bw, u.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a stream in the line format produced by Write. Lines starting
+// with '#' or '%' are comments.
+func Read(r io.Reader) (Stream, error) {
+	var s Stream
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		f := strings.Fields(line)
+		parse := func(i int) (uint64, error) {
+			if i >= len(f) {
+				return 0, fmt.Errorf("stream: line %d: missing field %d in %q", lineNo, i, line)
+			}
+			return strconv.ParseUint(f[i], 10, 32)
+		}
+		var u Update
+		var err error
+		var a, b, c uint64
+		switch f[0] {
+		case "+e":
+			if a, err = parse(1); err == nil {
+				if b, err = parse(2); err == nil {
+					c, err = parse(3)
+				}
+			}
+			u = Update{Op: AddEdge, U: graph.VertexID(a), V: graph.VertexID(b), ELabel: graph.Label(c)}
+		case "-e":
+			if a, err = parse(1); err == nil {
+				b, err = parse(2)
+			}
+			u = Update{Op: DeleteEdge, U: graph.VertexID(a), V: graph.VertexID(b)}
+		case "+v":
+			a, err = parse(1)
+			u = Update{Op: AddVertex, VLabel: graph.Label(a)}
+		case "-v":
+			a, err = parse(1)
+			u = Update{Op: DeleteVertex, U: graph.VertexID(a)}
+		default:
+			return nil, fmt.Errorf("stream: line %d: unknown op %q", lineNo, f[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %v", lineNo, err)
+		}
+		s = append(s, u)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

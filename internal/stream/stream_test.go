@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"paracosm/internal/graph"
+)
+
+func smallGraph() *graph.Graph {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex(graph.Label(i))
+	}
+	g.AddEdge(0, 1, 0)
+	return g
+}
+
+func TestApplyAddEdge(t *testing.T) {
+	g := smallGraph()
+	u := Update{Op: AddEdge, U: 1, V: 2, ELabel: 5}
+	if err := u.Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := g.EdgeLabel(1, 2); !ok || l != 5 {
+		t.Fatalf("edge not applied: %d %v", l, ok)
+	}
+	if err := u.Apply(g); err == nil {
+		t.Fatal("duplicate insert not rejected")
+	}
+}
+
+func TestApplyDeleteEdge(t *testing.T) {
+	g := smallGraph()
+	if err := (Update{Op: DeleteEdge, U: 0, V: 1}).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge survives delete")
+	}
+	if err := (Update{Op: DeleteEdge, U: 0, V: 1}).Apply(g); err == nil {
+		t.Fatal("double delete not rejected")
+	}
+}
+
+func TestApplyVertexOps(t *testing.T) {
+	g := smallGraph()
+	n := g.NumVertices()
+	if err := (Update{Op: AddVertex, VLabel: 9}).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n+1 || g.Label(graph.VertexID(n)) != 9 {
+		t.Fatal("vertex not added")
+	}
+	if err := (Update{Op: DeleteVertex, U: graph.VertexID(n)}).Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Alive(graph.VertexID(n)) {
+		t.Fatal("vertex alive after delete")
+	}
+	if err := (Update{Op: DeleteVertex, U: graph.VertexID(n)}).Apply(g); err == nil {
+		t.Fatal("double vertex delete not rejected")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	add := Update{Op: AddEdge, U: 3, V: 7, ELabel: 2}
+	del, err := add.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Op != DeleteEdge || del.U != 3 || del.V != 7 {
+		t.Fatalf("Invert(+e) = %v", del)
+	}
+	back, err := del.Invert()
+	if err != nil || back.Op != AddEdge {
+		t.Fatalf("Invert(-e) = %v, %v", back, err)
+	}
+	if _, err := (Update{Op: AddVertex}).Invert(); err == nil {
+		t.Fatal("vertex op invert should error")
+	}
+}
+
+func TestApplyAllStopsOnError(t *testing.T) {
+	g := smallGraph()
+	s := Stream{
+		{Op: AddEdge, U: 1, V: 2, ELabel: 0},
+		{Op: AddEdge, U: 1, V: 2, ELabel: 0}, // duplicate
+		{Op: AddEdge, U: 2, V: 3, ELabel: 0},
+	}
+	if err := s.ApplyAll(g); err == nil {
+		t.Fatal("ApplyAll ignored error")
+	}
+	if g.HasEdge(2, 3) {
+		t.Fatal("ApplyAll continued past error")
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	s := Stream{
+		{Op: AddEdge}, {Op: AddEdge}, {Op: DeleteEdge}, {Op: AddVertex},
+	}
+	m := s.CountOps()
+	if m[AddEdge] != 2 || m[DeleteEdge] != 1 || m[AddVertex] != 1 || m[DeleteVertex] != 0 {
+		t.Fatalf("CountOps = %v", m)
+	}
+}
+
+func TestRoundTripCodec(t *testing.T) {
+	s := Stream{
+		{Op: AddEdge, U: 0, V: 1, ELabel: 3},
+		{Op: DeleteEdge, U: 0, V: 1},
+		{Op: AddVertex, VLabel: 2},
+		{Op: DeleteVertex, U: 4},
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("update %d: got %v want %v", i, got[i], s[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, in := range []string{"+e 0 1", "-e 0", "+v", "xx 1 2", "+e a b c"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded", in)
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	s, err := Read(strings.NewReader("# c\n\n% d\n+e 1 2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 {
+		t.Fatalf("len = %d, want 1", len(s))
+	}
+}
+
+// Property: codec round-trips arbitrary edge streams.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Stream
+		for i := 0; i < 30; i++ {
+			if rng.Intn(2) == 0 {
+				s = append(s, Update{Op: AddEdge, U: graph.VertexID(rng.Intn(100)), V: graph.VertexID(rng.Intn(100)), ELabel: graph.Label(rng.Intn(10))})
+			} else {
+				s = append(s, Update{Op: DeleteEdge, U: graph.VertexID(rng.Intn(100)), V: graph.VertexID(rng.Intn(100))})
+			}
+		}
+		var buf bytes.Buffer
+		if s.Write(&buf) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
