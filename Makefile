@@ -2,19 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz experiments examples clean
+.PHONY: all build lint test race bench fuzz experiments examples clean
 
-all: build test
+all: lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# lint = build + go vet (via build) + the project-specific concurrency
+# analyzers (lockguard, atomicmix, goroutineleak, rangedeterminism,
+# lockcopy). Non-zero exit on any finding; see DESIGN.md "Static analysis
+# layer" for the // guarded by convention and the //lint:ignore escape
+# hatch.
+lint: build
+	$(GO) run ./cmd/paracosmvet ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/concurrent/ ./internal/graph/ .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench . -benchmem ./...

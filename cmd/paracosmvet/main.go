@@ -1,0 +1,109 @@
+// Command paracosmvet runs ParaCOSM's project-specific static-analysis
+// suite (internal/lint) over the module: lockguard, atomicmix,
+// goroutineleak, rangedeterminism, and lockcopy. It exits non-zero on any
+// finding so `make lint` and CI can gate on it.
+//
+// Usage:
+//
+//	go run ./cmd/paracosmvet [packages]
+//
+// where packages are go-tool-style patterns relative to the module root
+// ("./...", "./internal/graph", ...). With no arguments the whole module
+// is checked. Intentional violations are silenced in-source with
+// //lint:ignore <check> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"paracosm/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paracosmvet [-checks c1,c2] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracosmvet:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracosmvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracosmvet:", err)
+		os.Exit(2)
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	if *checks != "" {
+		analyzers, err = selectAnalyzers(analyzers, *checks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paracosmvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil || len(rel) >= len(d.Pos.Filename) {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "paracosmvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(all []lint.Analyzer, spec string) ([]lint.Analyzer, error) {
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		if name != "" {
+			want[name] = true
+		}
+	}
+	var out []lint.Analyzer
+	for _, a := range all {
+		if want[a.Name()] {
+			out = append(out, a)
+			delete(want, a.Name())
+		}
+	}
+	for name := range want {
+		return nil, fmt.Errorf("unknown check %q", name)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -125,7 +125,7 @@ func ByID(id string) (Experiment, error) {
 // datasetCache avoids regenerating identical datasets across experiments
 // in one process.
 var (
-	datasetCache   = map[string]*dataset.Dataset{}
+	datasetCache   = map[string]*dataset.Dataset{} // guarded by datasetCacheMu
 	datasetCacheMu sync.Mutex
 )
 

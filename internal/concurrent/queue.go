@@ -16,9 +16,13 @@ import (
 // simple implementation is both fast enough and obviously correct.
 type Queue[T any] struct {
 	mu    sync.Mutex
-	items []T
-	head  int
-	n     atomic.Int64 // mirrors len for lock-free Len()
+	items []T // guarded by mu
+	head  int // guarded by mu
+	// n mirrors len(items)-head for lock-free Len(). It is only mutated
+	// inside mu's critical sections, so a quiescent queue always reports
+	// an exact length; concurrent readers may observe the count a step
+	// ahead of or behind the ring contents, never a torn value.
+	n atomic.Int64
 }
 
 // Push appends one item.

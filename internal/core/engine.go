@@ -23,7 +23,7 @@ type Engine struct {
 	// serialized; the callback must not retain the state pointer.
 	OnMatch csm.MatchFunc
 
-	stats   Stats
+	stats   Stats // guarded by statsMu
 	statsMu sync.Mutex
 	matchMu sync.Mutex
 

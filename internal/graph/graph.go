@@ -45,8 +45,13 @@ type Graph struct {
 	labels  []Label      // vertex labels, indexed by VertexID
 	adj     [][]Neighbor // sorted adjacency lists
 	alive   []bool       // false once a vertex has been deleted
-	edges   int          // current number of edges
 	byLabel map[Label][]VertexID
+
+	// edges is the current number of edges. It is guarded by edgeMu for
+	// Locked* concurrent mutations; the plain single-writer API accesses
+	// it directly under the package's external-serialization contract and
+	// carries //lint:ignore lockguard annotations at each site.
+	edges int // guarded by edgeMu
 
 	locks  shardedLocks
 	edgeMu sync.Mutex // guards edges under Locked* mutations
@@ -99,8 +104,14 @@ func (g *Graph) Alive(v VertexID) bool {
 // deleted ones); use Alive to test liveness.
 func (g *Graph) NumVertices() int { return len(g.labels) }
 
-// NumEdges returns the current number of edges.
-func (g *Graph) NumEdges() int { return g.edges }
+// NumEdges returns the current number of edges. It takes the edge-counter
+// mutex so the result is exact even while Locked* mutations are in flight.
+func (g *Graph) NumEdges() int {
+	g.edgeMu.Lock()
+	n := g.edges
+	g.edgeMu.Unlock()
+	return n
+}
 
 // Label returns the label of vertex v.
 func (g *Graph) Label(v VertexID) Label { return g.labels[v] }
@@ -157,6 +168,7 @@ func (g *Graph) AddEdge(u, v VertexID, l Label) bool {
 		return false
 	}
 	g.insertHalf(v, u, l)
+	//lint:ignore lockguard plain AddEdge is the externally-serialized mutation path (package contract)
 	g.edges++
 	return true
 }
@@ -168,6 +180,7 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 		return false
 	}
 	g.removeHalf(v, u)
+	//lint:ignore lockguard plain RemoveEdge is the externally-serialized mutation path (package contract)
 	g.edges--
 	return true
 }
@@ -199,9 +212,10 @@ func (g *Graph) removeHalf(v, u VertexID) bool {
 // snapshot state around an update).
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		labels:  append([]Label(nil), g.labels...),
-		adj:     make([][]Neighbor, len(g.adj)),
-		alive:   append([]bool(nil), g.alive...),
+		labels: append([]Label(nil), g.labels...),
+		adj:    make([][]Neighbor, len(g.adj)),
+		alive:  append([]bool(nil), g.alive...),
+		//lint:ignore lockguard Clone snapshots a quiescent graph (no concurrent mutators by contract)
 		edges:   g.edges,
 		byLabel: make(map[Label][]VertexID, len(g.byLabel)),
 	}
@@ -225,7 +239,7 @@ func (g *Graph) AvgDegree() float64 {
 	if n == 0 {
 		return 0
 	}
-	return 2 * float64(g.edges) / float64(n)
+	return 2 * float64(g.NumEdges()) / float64(n)
 }
 
 // MaxDegree returns the maximum degree over live vertices.

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags mixed atomic / non-atomic access: once a field or
+// package-level variable is passed by address to any sync/atomic function
+// (atomic.AddInt64(&x.f, 1), atomic.LoadUint32(&n), ...), every other
+// access to the same object must also go through sync/atomic. Mixed access
+// defeats the memory-ordering guarantees and is invisible to go vet and,
+// on many interleavings, to the race detector. Typed atomics
+// (atomic.Int64 & friends) are immune by construction and never flagged.
+type AtomicMix struct{}
+
+func (AtomicMix) Name() string { return "atomicmix" }
+
+func (AtomicMix) Check(pkgs []*Package) []Diagnostic {
+	// Phase 1: every object whose address escapes into a sync/atomic call,
+	// plus the exact AST nodes of those sanctioned accesses.
+	atomicObjs := map[types.Object]bool{}
+	sanctioned := map[ast.Expr]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ipkg := pkgNameOf(p.Info, sel.X)
+				if ipkg == nil || ipkg.Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if obj := accessedObj(p.Info, un.X); obj != nil {
+						atomicObjs[obj] = true
+						sanctioned[un.X] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Phase 2: any other access to those objects is a violation.
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok || sanctioned[e] {
+					return true
+				}
+				switch e := e.(type) {
+				case *ast.SelectorExpr:
+					v := fieldObj(p.Info, e)
+					if v == nil {
+						return true
+					}
+					if atomicObjs[v] {
+						out = append(out, diagAt(p, e.Pos(), "atomicmix", fmt.Sprintf(
+							"%s is accessed with sync/atomic elsewhere; this plain access races with it", render(e))))
+						return false // don't re-flag via the Sel ident
+					}
+				case *ast.Ident:
+					v, ok := p.Info.Uses[e].(*types.Var)
+					if !ok || v.IsField() {
+						return true
+					}
+					if atomicObjs[v] {
+						out = append(out, diagAt(p, e.Pos(), "atomicmix", fmt.Sprintf(
+							"%s is accessed with sync/atomic elsewhere; this plain access races with it", e.Name)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// accessedObj resolves the variable object behind &expr arguments: plain
+// identifiers and struct-field selections.
+func accessedObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return accessedObj(info, e.X)
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v := fieldObj(info, e); v != nil {
+			return v
+		}
+	}
+	return nil
+}

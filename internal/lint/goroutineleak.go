@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineLeak checks that every `go func literal` is joinable by its
+// spawner: the body must either call Done (directly or deferred) on a
+// sync.WaitGroup that saw an Add call in the enclosing function, or
+// send on / close a channel, so the spawner has a handle to wait on.
+// Fire-and-forget goroutines silently outlive engine runs, leak under
+// repeated Init/Run cycles, and make Stats racy; intentional daemons must
+// say so with //lint:ignore goroutineleak <reason>.
+type GoroutineLeak struct{}
+
+func (GoroutineLeak) Name() string { return "goroutineleak" }
+
+func (GoroutineLeak) Check(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, fd := range funcDecls(p) {
+			// WaitGroup bases with an Add call anywhere in the spawning
+			// function (flow-insensitive; Add-after-go is pathological
+			// enough not to special-case).
+			added := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				if !isWaitGroup(typeOf(p.Info, sel.X)) {
+					return true
+				}
+				if b := render(sel.X); b != "" {
+					added[b] = true
+				}
+				return true
+			})
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				fl, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if !joinable(p, fl, added) {
+					out = append(out, diagAt(p, g.Pos(), "goroutineleak",
+						"go func literal has no join: call wg.Done for a WaitGroup Add-ed in "+
+							fd.Name.Name+", or send on/close a channel the spawner can observe"))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// joinable reports whether the goroutine body signals completion: a Done
+// call on a WaitGroup that the spawning function Add-ed, a channel send,
+// or a close call.
+func joinable(p *Package, fl *ast.FuncLit, added map[string]bool) bool {
+	ok := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ok = true
+		case *ast.CallExpr:
+			if id, isIdent := n.Fun.(*ast.Ident); isIdent && id.Name == "close" && len(n.Args) == 1 {
+				ok = true
+				return false
+			}
+			sel, isSel := n.Fun.(*ast.SelectorExpr)
+			if !isSel || sel.Sel.Name != "Done" {
+				return true
+			}
+			if !isWaitGroup(typeOf(p.Info, sel.X)) {
+				return true
+			}
+			// The WaitGroup must be the one the spawner Add-ed. A closure
+			// captures it under the same name; a parameter-passed WaitGroup
+			// (different name) is accepted only when the spawner Add-ed
+			// some WaitGroup at all.
+			if b := render(sel.X); added[b] || len(added) > 0 {
+				ok = true
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,150 @@
+// Package lint implements paracosmvet, a project-specific static-analysis
+// suite for ParaCOSM's concurrency invariants. It is built purely on the
+// standard library go/ast, go/parser, go/token and go/types packages
+// (respecting the module's zero-dependency constraint) and checks contracts
+// that go vet cannot express:
+//
+//   - lockguard:         fields declared "// guarded by <mutex>" are only
+//     touched while that mutex is held on the same receiver
+//   - atomicmix:         a field accessed through sync/atomic is never also
+//     accessed non-atomically
+//   - goroutineleak:     every `go func` literal is joinable — it signals a
+//     WaitGroup that saw Add in the spawning scope, or sends/closes a channel
+//   - rangedeterminism:  no `for range` over maps on result-reporting or
+//     matching-order code paths unless the values feed a sort
+//   - lockcopy:          generics-aware detection of by-value copies of types
+//     containing sync.Mutex / sync.RWMutex (covers Queue[T] instantiations)
+//
+// Intentional violations are annotated in-source with the escape hatch
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string // analyzer name, e.g. "lockguard"
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one project-specific check. Check receives every loaded
+// package at once so analyzers can correlate facts across package
+// boundaries (type objects are shared through the loader's import cache).
+type Analyzer interface {
+	Name() string
+	Check(pkgs []*Package) []Diagnostic
+}
+
+// DefaultAnalyzers returns the full suite with the repo's production
+// configuration: rangedeterminism is scoped to the result-reporting and
+// matching-order packages.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		LockGuard{},
+		AtomicMix{},
+		GoroutineLeak{},
+		RangeDeterminism{Paths: []string{"internal/query", "internal/csm", "internal/core"}},
+		LockCopy{},
+	}
+}
+
+// ignoreRe matches the escape-hatch directive. The check name and a
+// non-empty reason are both mandatory.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z][A-Za-z0-9_-]*)\s+(\S.*)$`)
+
+// ignoreIndex records, per file and line, which checks are suppressed.
+type ignoreIndex struct {
+	byFileLine map[string]map[int]map[string]bool
+	malformed  []Diagnostic
+}
+
+func collectIgnores(pkgs []*Package) *ignoreIndex {
+	ix := &ignoreIndex{byFileLine: map[string]map[int]map[string]bool{}}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//lint:ignore") {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						ix.malformed = append(ix.malformed, Diagnostic{
+							Pos:     pos,
+							Check:   "ignore",
+							Message: "malformed directive: want //lint:ignore <check> <reason>",
+						})
+						continue
+					}
+					lines := ix.byFileLine[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						ix.byFileLine[pos.Filename] = lines
+					}
+					checks := lines[pos.Line]
+					if checks == nil {
+						checks = map[string]bool{}
+						lines[pos.Line] = checks
+					}
+					checks[m[1]] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// suppressed reports whether d is covered by an ignore directive on the
+// same line or the line directly above.
+func (ix *ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := ix.byFileLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Check] || lines[d.Pos.Line-1][d.Check]
+}
+
+// Run executes every analyzer over pkgs, filters findings through the
+// //lint:ignore directives, and returns the surviving diagnostics in
+// deterministic (file, line, column, check) order. Malformed ignore
+// directives are themselves reported.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	ix := collectIgnores(pkgs)
+	out := append([]Diagnostic(nil), ix.malformed...)
+	for _, a := range analyzers {
+		for _, d := range a.Check(pkgs) {
+			if !ix.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

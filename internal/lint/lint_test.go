@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One loader (and hence one type-checking universe) per test process: the
+// stdlib source importer is the expensive part and its cache is shared.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(filepath.Join("..", ".."))
+})
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return p
+}
+
+// wantRe marks expected diagnostics in fixture sources: "// want <check>"
+// on the line the diagnostic is reported at.
+var wantRe = regexp.MustCompile(`// want ([a-z]+)`)
+
+type diagKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// checkFixture runs analyzers over the named fixture package (through Run,
+// so //lint:ignore directives apply) and compares the findings against the
+// fixture's // want markers.
+func checkFixture(t *testing.T, name string, analyzers ...Analyzer) {
+	t.Helper()
+	p := fixture(t, name)
+	diags := Run([]*Package{p}, analyzers)
+
+	got := map[diagKey]int{}
+	for _, d := range diags {
+		got[diagKey{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Check}]++
+	}
+
+	want := map[diagKey]int{}
+	ents, err := os.ReadDir(p.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(p.Dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[diagKey{e.Name(), i + 1, m[1]}]++
+			}
+		}
+	}
+
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s:%d: want %d %q diagnostic(s), got %d", k.file, k.line, n, k.check, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("%s:%d: unexpected %q diagnostic (x%d)", k.file, k.line, k.check, n)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	}
+}
+
+func TestLockGuard(t *testing.T)     { checkFixture(t, "lockguard", LockGuard{}) }
+func TestAtomicMix(t *testing.T)     { checkFixture(t, "atomicmix", AtomicMix{}) }
+func TestGoroutineLeak(t *testing.T) { checkFixture(t, "goroutineleak", GoroutineLeak{}) }
+func TestLockCopy(t *testing.T)      { checkFixture(t, "lockcopy", LockCopy{}) }
+
+func TestRangeDeterminism(t *testing.T) {
+	checkFixture(t, "rangedeterminism", RangeDeterminism{})
+}
+
+// A path-scoped RangeDeterminism must not fire on packages outside its
+// configured suffix list.
+func TestRangeDeterminismScoped(t *testing.T) {
+	p := fixture(t, "rangedeterminism")
+	diags := Run([]*Package{p}, []Analyzer{RangeDeterminism{Paths: []string{"internal/query"}}})
+	if len(diags) != 0 {
+		t.Fatalf("scoped analyzer fired outside its paths: %v", diags)
+	}
+}
+
+func TestIgnoreDirective(t *testing.T) { checkFixture(t, "ignore", LockGuard{}) }
+
+// TestRepoClean is the self-hosting gate: the full default suite over the
+// whole module must be silent (any intentional violation carries a
+// //lint:ignore annotation in-source).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped with -short")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("%s", d)
+	}
+}

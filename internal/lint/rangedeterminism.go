@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RangeDeterminism flags `for range` over map values in packages on the
+// result-reporting and matching-order code paths. Go randomizes map
+// iteration order, so a map range that feeds match output, candidate
+// ordering, or statistics aggregation makes runs non-reproducible — the
+// cross-check harness and the paper's experiment tables both depend on
+// determinism. The diagnostic is suppressed when the enclosing function
+// visibly sorts (a call into sort or slices), which is the idiomatic fix:
+// collect keys, sort, then iterate.
+type RangeDeterminism struct {
+	// Paths restricts the analyzer to packages whose import path ends with
+	// one of these suffixes. Empty means every package (fixture tests).
+	Paths []string
+}
+
+func (RangeDeterminism) Name() string { return "rangedeterminism" }
+
+func (r RangeDeterminism) applies(p *Package) bool {
+	if len(r.Paths) == 0 {
+		return true
+	}
+	for _, s := range r.Paths {
+		if p.Path == s || strings.HasSuffix(p.Path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r RangeDeterminism) Check(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		if !r.applies(p) {
+			continue
+		}
+		for _, fd := range funcDecls(p) {
+			sorts := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if ipkg := pkgNameOf(p.Info, sel.X); ipkg != nil {
+					if ipkg.Path() == "sort" || ipkg.Path() == "slices" {
+						sorts = true
+						return false
+					}
+				}
+				return true
+			})
+			if sorts {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := typeOf(p.Info, rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				out = append(out, diagAt(p, rs.Pos(), "rangedeterminism",
+					"map iteration order is randomized; sort the keys (or the collected values) in "+
+						fd.Name.Name+" to keep results deterministic"))
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Package atomicmixfix exercises the atomicmix analyzer: a field touched
+// through sync/atomic anywhere must never be accessed plainly elsewhere.
+package atomicmixfix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+	other int64
+}
+
+func atomicOnly(s *stats) int64 {
+	atomic.AddInt64(&s.hits, 1)
+	return atomic.LoadInt64(&s.hits)
+}
+
+func plainOnlyIsFine(s *stats) int64 {
+	s.other++
+	return s.other
+}
+
+func mixedWrite(s *stats) {
+	atomic.AddInt64(&s.total, 1)
+}
+
+func mixedRead(s *stats) int64 {
+	return s.total // want atomicmix
+}

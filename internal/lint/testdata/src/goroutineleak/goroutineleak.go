@@ -1,0 +1,46 @@
+// Package goroutineleakfix exercises the goroutineleak analyzer: every go
+// func literal must be joinable (WaitGroup Done paired with an Add in the
+// spawner, or a channel send/close).
+package goroutineleakfix
+
+import "sync"
+
+func waitGroupJoin() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func channelJoin() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+func closeJoin() <-chan int {
+	ch := make(chan int)
+	go func() {
+		close(ch)
+	}()
+	return ch
+}
+
+func fireAndForget() {
+	go func() { // want goroutineleak
+		_ = 1 + 1
+	}()
+}
+
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want goroutineleak
+		wg.Done()
+	}()
+}

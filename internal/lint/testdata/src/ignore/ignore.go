@@ -1,0 +1,31 @@
+// Package ignorefix exercises the //lint:ignore escape hatch against the
+// lockguard analyzer.
+package ignorefix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func aboveLineForm(b *box) int {
+	//lint:ignore lockguard fixture: single-writer phase
+	return b.n
+}
+
+func sameLineForm(b *box) int {
+	return b.n //lint:ignore lockguard fixture: single-writer phase
+}
+
+func otherCheckDoesNotSuppress(b *box) int {
+	//lint:ignore atomicmix fixture: names a different check
+	return b.n // want lockguard
+}
+
+func malformedDirective(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore // want ignore
+	return b.n
+}

@@ -1,0 +1,44 @@
+// Package lockcopyfix exercises the generics-aware lockcopy analyzer on a
+// Queue-shaped generic type whose instantiations embed a sync.Mutex.
+package lockcopyfix
+
+import "sync"
+
+type Q[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+func (q *Q[T]) Push(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+func assignmentCopy() {
+	var a Q[int]
+	b := a // want lockcopy
+	_ = b.items
+}
+
+func byValueParam(q Q[string]) int { // want lockcopy
+	return len(q.items)
+}
+
+func pointerIsFine(q *Q[string]) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func rangeCopy(qs []Q[int]) {
+	for _, q := range qs { // want lockcopy
+		_ = q.items
+	}
+}
+
+func indexIsFine(qs []Q[int]) {
+	for i := range qs {
+		qs[i].Push(i)
+	}
+}

@@ -1,0 +1,52 @@
+// Package lockguardfix exercises the lockguard analyzer: struct fields and
+// package-level variables carrying a "guarded by" marker must only be
+// accessed under their mutex.
+package lockguardfix
+
+import "sync"
+
+var (
+	counter   int // guarded by counterMu
+	counterMu sync.Mutex
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok bool
+}
+
+func lockedField(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	return b.n
+}
+
+func unguardedFieldIsFine(b *box) {
+	b.ok = true
+}
+
+func unlockedRead(b *box) int {
+	return b.n // want lockguard
+}
+
+func unlockedWrite(b *box) {
+	b.n = 7 // want lockguard
+}
+
+func wrongReceiverLock(a, b *box) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want lockguard
+}
+
+func lockedVar() {
+	counterMu.Lock()
+	counter++
+	counterMu.Unlock()
+}
+
+func unlockedVar() int {
+	return counter // want lockguard
+}

@@ -1,0 +1,30 @@
+// Package rangedetfix exercises the rangedeterminism analyzer: map ranges
+// on result-reporting paths are flagged unless the function sorts.
+package rangedetfix
+
+import "sort"
+
+func unsortedReport(m map[string]int, emit func(string, int)) {
+	for k, v := range m { // want rangedeterminism
+		emit(k, v)
+	}
+}
+
+func sortedReport(m map[string]int, emit func(string, int)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, m[k])
+	}
+}
+
+func sliceRangeIsFine(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

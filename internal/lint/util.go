@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// render produces a stable textual form of simple receiver/selector chains
+// ("e", "q.eng", "(*p).stats"). It returns "" for expressions too dynamic
+// to compare syntactically (calls, literals, arbitrary index bases).
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := render(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return render(e.X)
+	case *ast.StarExpr:
+		return render(e.X)
+	}
+	return ""
+}
+
+// typeOf resolves the static type of e, falling back to Uses/Defs for bare
+// identifiers (go/types does not record every ident in Info.Types).
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if o := info.Uses[id]; o != nil {
+			return o.Type()
+		}
+		if o := info.Defs[id]; o != nil {
+			return o.Type()
+		}
+	}
+	return nil
+}
+
+// valueType returns the type of e only when e denotes a value (not a type
+// expression, package name, or builtin).
+func valueType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		if !tv.IsValue() {
+			return nil
+		}
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v.Type()
+		}
+	}
+	return nil
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedIn reports whether t (after unaliasing) is the named type pkg.name.
+func namedIn(t types.Type, pkgPath string, names ...string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, name := range names {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly behind
+// one pointer).
+func isMutex(t types.Type) bool {
+	return t != nil && namedIn(deref(t), "sync", "Mutex", "RWMutex")
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (possibly behind one
+// pointer).
+func isWaitGroup(t types.Type) bool {
+	return t != nil && namedIn(deref(t), "sync", "WaitGroup")
+}
+
+// fieldObj returns the field object selected by sel when sel is a plain
+// struct-field access, nil otherwise.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// pkgNameOf returns the imported package if e is a package qualifier ident
+// (e.g. the "atomic" in atomic.AddInt64), nil otherwise.
+func pkgNameOf(info *types.Info, e ast.Expr) *types.Package {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex by value (directly, through struct fields, arrays, or
+// instantiated generics). Pointers and interfaces do not propagate: copying
+// them is safe.
+func containsLock(t types.Type) bool {
+	return lockIn(t, map[types.Type]bool{})
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return true
+			}
+		}
+		return lockIn(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lockIn(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), seen)
+	}
+	return false
+}
