@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench fuzz experiments examples clean
+.PHONY: all build lint test race bench bench-json fuzz experiments examples clean
 
 all: lint test
 
@@ -26,6 +26,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable perf baseline: the Fig 7 microbench against the real
+# (non-simulated) worker pool — updates/sec, escalation rate and
+# park/wakeup counters. CI runs this as a non-gating step.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
 
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/

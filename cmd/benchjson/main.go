@@ -1,0 +1,48 @@
+// Command benchjson runs the Figure 7 microbenchmark with the real
+// worker pool and writes a machine-readable perf baseline
+// (updates/sec, escalation rate, park/wakeup counters) for the
+// repository's performance trajectory. CI runs it as a non-gating step
+// via `make bench-json`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paracosm/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_pr2.json", "output file for the JSON report")
+	scale := flag.Float64("scale", 0.002, "dataset scale factor (Table 5 sizes)")
+	queries := flag.Int("queries", 2, "random queries per algorithm")
+	updates := flag.Int("updates", 200, "stream updates replayed per query")
+	threads := flag.Int("threads", 0, "worker-pool size (0 = auto)")
+	seed := flag.Int64("seed", 1, "RNG seed for datasets and queries")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:          *scale,
+		Seed:           *seed,
+		QueriesPerSize: *queries,
+		StreamCap:      *updates,
+		Threads:        *threads,
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := bench.RunBenchJSON(cfg, f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -56,6 +56,7 @@ func main() {
 		core.InterUpdate(*inter),
 		core.BatchSize(*batch),
 		core.SplitDepth(*split))
+	defer eng.Close()
 	if *verbose {
 		eng.OnMatch = func(st *csm.State, count uint64, positive bool) {
 			sign := "+"

@@ -60,6 +60,7 @@ func main() {
 	wedge := mkQuery([]paracosm.Label{0, 1, 1, 2}, [][2]uint8{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
 
 	m := paracosm.NewMulti(paracosm.Threads(4), paracosm.BatchSize(16))
+	defer m.Close()
 	m.Register("friend-triangle", paracosm.Symbi(), triangle)
 	m.Register("co-shopping-square", paracosm.TurboFlux(), square)
 	m.Register("supply-wedge", paracosm.GraphFlow(), wedge)

@@ -161,6 +161,7 @@ type RunResult struct {
 func (c Config) runOne(entry algo.Entry, d *dataset.Dataset, q *query.Graph, s stream.Stream, opts ...core.Option) RunResult {
 	g := d.Graph.Clone()
 	eng := core.New(entry.New(), opts...)
+	defer eng.Close()
 	if err := eng.Init(g, q); err != nil {
 		// Offline-stage failures are configuration errors, not timeouts.
 		panic(fmt.Sprintf("bench: %s Init: %v", entry.Name, err))

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"paracosm/internal/algo"
+	"paracosm/internal/core"
+	"paracosm/internal/dataset"
+	"paracosm/internal/metrics"
+)
+
+// BenchRecord is one (dataset, algorithm) row of the machine-readable perf
+// baseline (`make bench-json` → BENCH_pr<N>.json): throughput plus the
+// worker-pool health counters that the Fig 7 microbench exercises.
+type BenchRecord struct {
+	Dataset        string  `json:"dataset"`
+	Algo           string  `json:"algo"`
+	Queries        int     `json:"queries"`
+	Updates        int     `json:"updates"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	Matches        uint64  `json:"matches"`
+	Escalations    int     `json:"escalations"`
+	EscalationRate float64 `json:"escalation_rate"`
+	Resplits       uint64  `json:"resplits"`
+	Parks          uint64  `json:"parks"`
+	Wakeups        uint64  `json:"wakeups"`
+}
+
+// BenchReport is the top-level BENCH_*.json document.
+type BenchReport struct {
+	Schema      int           `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Threads     int           `json:"threads"`
+	Scale       float64       `json:"scale"`
+	Seed        int64         `json:"seed"`
+	StreamCap   int           `json:"stream_cap"`
+	Records     []BenchRecord `json:"records"`
+}
+
+// RunBenchJSON runs the Figure 7 microbenchmark — the full inner-update
+// path over the Amazon stand-in for two representative algorithms — with
+// the REAL worker pool (simulate mode never parks a goroutine, so it would
+// report empty counters) and writes the JSON baseline to w. A deliberately
+// low escalation budget guarantees the pool is exercised even at CI-sized
+// scales and thread counts.
+func RunBenchJSON(cfg Config, w io.Writer) error {
+	cfg = cfg.Defaults()
+	threads := cfg.Threads
+	if threads < 2 {
+		threads = 2 // a 1-thread engine never escalates; the point is the pool
+	}
+	if threads > runtime.GOMAXPROCS(0)*4 {
+		// Real (non-simulated) execution: don't drown a small machine in
+		// simulated-80-core configurations.
+		threads = runtime.GOMAXPROCS(0) * 4
+		if threads < 2 {
+			threads = 2
+		}
+	}
+
+	report := BenchReport{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Threads:     threads,
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		StreamCap:   cfg.StreamCap,
+	}
+
+	d := cfg.data(dataset.AmazonSpec)
+	s := cfg.stream(d)
+	for _, name := range []string{"GraphFlow", "Symbi"} {
+		entry, err := algo.ByName(name)
+		if err != nil {
+			return err
+		}
+		qs, err := cfg.queriesFor(d, 6)
+		if err != nil {
+			return err
+		}
+		var agg core.Stats
+		var elapsed time.Duration
+		updates := 0
+		for _, q := range qs {
+			t0 := time.Now()
+			r := cfg.runOne(entry, d, q, s,
+				core.Threads(threads), core.InterUpdate(false),
+				core.LoadBalance(true), core.EscalateNodes(256),
+				core.Simulate(false))
+			elapsed += time.Since(t0)
+			updates += r.Stats.Updates
+			agg.Positive += r.Stats.Positive
+			agg.Negative += r.Stats.Negative
+			agg.Escalations += r.Stats.Escalations
+			agg.Resplits += r.Stats.Resplits
+			agg.Parks += r.Stats.Parks
+			agg.Wakeups += r.Stats.Wakeups
+		}
+		report.Records = append(report.Records, BenchRecord{
+			Dataset:        d.Name,
+			Algo:           name,
+			Queries:        len(qs),
+			Updates:        updates,
+			ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+			UpdatesPerSec:  metrics.Rate(uint64(updates), elapsed),
+			Matches:        agg.Positive + agg.Negative,
+			Escalations:    agg.Escalations,
+			EscalationRate: metrics.Fraction(uint64(agg.Escalations), uint64(updates)),
+			Resplits:       agg.Resplits,
+			Parks:          agg.Parks,
+			Wakeups:        agg.Wakeups,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,186 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent pool of parked worker goroutines: the execution
+// substrate of the inner-update executor (Algorithm 2). Workers are
+// spawned once, at construction, and reused for every escalated update;
+// between epochs (and whenever the task queue drains mid-epoch) they park
+// on a sync.Cond instead of spinning, so an idle pool costs nothing and
+// never steals cycles from the workers that still hold tasks.
+//
+// One epoch = one Submit call: the caller hands over a frontier of tasks
+// plus the function that executes them, and Submit blocks until the epoch
+// drains. Task functions may grow the epoch by calling Push (adaptive
+// re-splitting); Starved is the lock-free signal that re-splitting would
+// pay. Epoch termination is the classic two-phase check, evaluated under
+// the pool mutex so no wakeup can be lost: the epoch is complete exactly
+// when the queue is empty AND no worker is executing a task (a running
+// task may still Push, so an empty queue alone proves nothing).
+//
+// Submit and Close serialize against each other; task functions run
+// concurrently and must synchronize any shared state themselves. Close
+// joins all workers; a closed pool panics on Submit.
+type Pool[T any] struct {
+	size int
+
+	mu   sync.Mutex
+	work sync.Cond // workers park here; signaled by Push/Submit/Close
+	done sync.Cond // the submitter parks here; signaled at epoch completion
+
+	tasks  []T                      // guarded by mu
+	head   int                      // guarded by mu
+	active int                      // guarded by mu
+	run    func(worker int, task T) // guarded by mu
+	closed bool                     // guarded by mu
+
+	// Lock-free mirrors for the hot-path Starved check. Both are only
+	// mutated inside mu's critical sections; concurrent readers may
+	// observe values a step stale, never torn — the same contract as
+	// Queue.n, and exactly what an advisory re-split heuristic needs.
+	qlen atomic.Int64
+	idle atomic.Int32
+
+	parks   atomic.Uint64
+	wakeups atomic.Uint64
+
+	// epochMu serializes Submit/Close so only one epoch (or shutdown) is
+	// in flight; mu alone cannot, because Submit releases it while parked.
+	epochMu sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// NewPool starts size persistent workers (size < 1 is clamped to 1). The
+// workers park immediately; call Close to join them.
+func NewPool[T any](size int) *Pool[T] {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool[T]{size: size}
+	p.work.L = &p.mu
+	p.done.L = &p.mu
+	for w := 0; w < size; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool[T]) Size() int { return p.size }
+
+// worker is the persistent loop of one pool goroutine. Joined via Close
+// (p.wg.Wait after the closed broadcast).
+func (p *Pool[T]) worker(w int) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		for p.head >= len(p.tasks) && !p.closed {
+			p.idle.Add(1)
+			p.parks.Add(1)
+			p.work.Wait()
+			p.idle.Add(-1)
+			p.wakeups.Add(1)
+		}
+		if p.head >= len(p.tasks) { // closed, queue drained
+			p.mu.Unlock()
+			return
+		}
+		var zero T
+		task := p.tasks[p.head]
+		p.tasks[p.head] = zero // release for GC
+		p.head++
+		p.qlen.Add(-1)
+		p.active++
+		run := p.run
+		p.mu.Unlock()
+
+		run(w, task)
+
+		p.mu.Lock()
+		p.active--
+		if p.active == 0 && p.head >= len(p.tasks) {
+			p.done.Signal()
+		}
+	}
+}
+
+// Submit runs one epoch: frontier is queued, parked workers are woken, and
+// the call blocks until the queue is empty and every task function has
+// returned. run is invoked once per task with the executing worker's index
+// (0..Size-1); it may call Push to add tasks to the same epoch. Submit
+// must not be called concurrently with itself and panics on a closed pool.
+func (p *Pool[T]) Submit(frontier []T, run func(worker int, task T)) {
+	p.epochMu.Lock()
+	defer p.epochMu.Unlock()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("concurrent: Submit on closed Pool")
+	}
+	p.run = run
+	p.tasks = append(p.tasks, frontier...)
+	p.qlen.Add(int64(len(frontier)))
+	p.work.Broadcast()
+	for p.head < len(p.tasks) || p.active > 0 {
+		p.done.Wait()
+	}
+	p.run = nil
+	// Reuse the ring across epochs, but let an explosion's backlog go
+	// back to the allocator instead of pinning its high-water mark.
+	if cap(p.tasks) > 4096 {
+		p.tasks = nil
+	} else {
+		p.tasks = p.tasks[:0]
+	}
+	p.head = 0
+	p.mu.Unlock()
+}
+
+// Push appends one task to the current epoch and wakes a parked worker.
+// Only task functions of the in-flight epoch may call it.
+func (p *Pool[T]) Push(v T) {
+	p.mu.Lock()
+	p.tasks = append(p.tasks, v)
+	p.qlen.Add(1)
+	p.work.Signal()
+	p.mu.Unlock()
+}
+
+// Starved reports whether at least one worker is parked while the queue is
+// empty — the adaptive re-splitting trigger of Algorithm 2 (idle > 0 &&
+// queue empty). Lock-free and advisory: a stale answer only delays or
+// wastes one split, never breaks correctness.
+func (p *Pool[T]) Starved() bool {
+	return p.idle.Load() > 0 && p.qlen.Load() == 0
+}
+
+// Counters returns the cumulative park and wakeup event counts. A park is
+// one transition into the idle wait (including the initial park after
+// spawn and re-parks after spurious wakeups); wakeups count the matching
+// transitions out.
+func (p *Pool[T]) Counters() (parks, wakeups uint64) {
+	return p.parks.Load(), p.wakeups.Load()
+}
+
+// Close wakes all parked workers, waits for them to exit, and marks the
+// pool unusable. Idempotent: further Close calls return immediately. Must
+// not be called from a task function or concurrently with Submit (it
+// serializes behind any in-flight epoch).
+func (p *Pool[T]) Close() {
+	p.epochMu.Lock()
+	defer p.epochMu.Unlock()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.work.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

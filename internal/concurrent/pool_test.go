@@ -1,0 +1,171 @@
+package concurrent
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool[int](4)
+	defer p.Close()
+
+	var sum atomic.Int64
+	tasks := make([]int, 100)
+	want := int64(0)
+	for i := range tasks {
+		tasks[i] = i
+		want += int64(i)
+	}
+	p.Submit(tasks, func(w int, v int) { sum.Add(int64(v)) })
+	if got := sum.Load(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestPoolEpochsAreIndependent(t *testing.T) {
+	p := NewPool[int](3)
+	defer p.Close()
+
+	for epoch := 0; epoch < 50; epoch++ {
+		var n atomic.Int64
+		p.Submit([]int{1, 2, 3, 4, 5}, func(w, v int) { n.Add(1) })
+		if n.Load() != 5 {
+			t.Fatalf("epoch %d: ran %d tasks, want 5", epoch, n.Load())
+		}
+	}
+}
+
+// TestPoolRecursivePush: tasks growing the epoch via Push must all run
+// before Submit returns (the two-phase termination check: an empty queue
+// with a task in flight is not completion).
+func TestPoolRecursivePush(t *testing.T) {
+	p := NewPool[int](4)
+	defer p.Close()
+
+	var n atomic.Int64
+	// Each task at depth d > 0 pushes two tasks at depth d-1:
+	// 2^5-1 = 31 tasks from one seed.
+	p.Submit([]int{4}, func(w, depth int) {
+		n.Add(1)
+		if depth > 0 {
+			p.Push(depth - 1)
+			p.Push(depth - 1)
+		}
+	})
+	if got := n.Load(); got != 31 {
+		t.Fatalf("ran %d tasks, want 31", got)
+	}
+}
+
+// TestPoolWorkersParkBetweenEpochs: the pool must not grow goroutines
+// across many epochs, and idle workers must actually park (counters move).
+func TestPoolWorkersParkBetweenEpochs(t *testing.T) {
+	p := NewPool[int](4)
+	defer p.Close()
+	p.Submit([]int{1}, func(w, v int) {}) // warm up: workers spawned and parked
+
+	base := runtime.NumGoroutine()
+	for i := 0; i < 1000; i++ {
+		p.Submit([]int{1, 2, 3}, func(w, v int) {})
+	}
+	if now := runtime.NumGoroutine(); now > base+2 {
+		t.Fatalf("goroutines grew across epochs: %d -> %d", base, now)
+	}
+	parks, wakeups := p.Counters()
+	if parks == 0 || wakeups == 0 {
+		t.Fatalf("no park/wakeup traffic recorded (parks=%d wakeups=%d)", parks, wakeups)
+	}
+}
+
+func TestPoolStarved(t *testing.T) {
+	p := NewPool[int](2)
+	defer p.Close()
+
+	// Quiescent pool: both workers parked, queue empty.
+	deadline := time.Now().Add(2 * time.Second)
+	for !p.Starved() {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never reported starved while quiescent")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// During an epoch where one worker blocks and the other drains the
+	// queue, Starved must eventually flip true (idle sibling, empty queue).
+	release := make(chan struct{})
+	sawStarved := make(chan bool, 1)
+	go func() {
+		p.Submit([]int{0, 1}, func(w, v int) {
+			if v == 0 {
+				d := time.Now().Add(2 * time.Second)
+				for !p.Starved() && time.Now().Before(d) {
+					time.Sleep(100 * time.Microsecond)
+				}
+				sawStarved <- p.Starved()
+			}
+		})
+		close(release)
+	}()
+	if !<-sawStarved {
+		t.Fatal("running task never observed a starved sibling")
+	}
+	<-release
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool[int](3)
+	p.Submit([]int{1, 2}, func(w, v int) {})
+	p.Close()
+	p.Close() // second Close must be a no-op, not a deadlock or panic
+}
+
+func TestPoolSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool[int](2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit on closed pool did not panic")
+		}
+	}()
+	p.Submit([]int{1}, func(w, v int) {})
+}
+
+func TestPoolSizeClamped(t *testing.T) {
+	p := NewPool[int](0)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("Size() = %d, want 1", p.Size())
+	}
+	p.Submit([]int{7}, func(w, v int) {
+		if w != 0 {
+			t.Errorf("worker index %d on size-1 pool", w)
+		}
+	})
+}
+
+// TestPoolStress exercises concurrent Push from many tasks under -race.
+func TestPoolStress(t *testing.T) {
+	p := NewPool[int](8)
+	defer p.Close()
+	var n atomic.Int64
+	for round := 0; round < 20; round++ {
+		n.Store(0)
+		seeds := make([]int, 16)
+		for i := range seeds {
+			seeds[i] = 6
+		}
+		p.Submit(seeds, func(w, depth int) {
+			n.Add(1)
+			if depth > 0 {
+				p.Push(depth - 1)
+				p.Push(depth - 1)
+			}
+		})
+		// 16 seeds, each a full binary tree of depth 6: 16*(2^7-1).
+		if got := n.Load(); got != 16*127 {
+			t.Fatalf("round %d: ran %d tasks, want %d", round, got, 16*127)
+		}
+	}
+}

@@ -134,9 +134,27 @@ type Stats struct {
 	SafeByADS     int // passed stages 1-2, rejected by stage 3
 	VertexUpdates int // trivially safe vertex ops
 
-	// ThreadBusy[w] is the cumulative busy time of worker w during
-	// parallel find-matches phases.
+	// Inner-update executor / worker pool counters.
+	Escalations int    // updates that escalated to the parallel phase
+	Resplits    uint64 // subtrees re-split into pool tasks (adaptive sharing)
+	Parks       uint64 // pool worker park events during escalated epochs
+	Wakeups     uint64 // pool worker wakeups from park during epochs
+
+	// ThreadBusy holds cumulative per-thread busy times during
+	// find-matches phases. Slot 0 is the caller thread: root collection
+	// and the sequential (pre-escalation) phase of every update. Slot 1+w
+	// is pool worker w during escalated parallel phases. Figure 10's CDF
+	// is computed over all slots, so sequential search time is counted.
 	ThreadBusy []time.Duration
+}
+
+// EscalationRate returns the fraction of updates whose search escalated to
+// the parallel phase.
+func (s Stats) EscalationRate() float64 {
+	if s.Updates == 0 {
+		return 0
+	}
+	return float64(s.Escalations) / float64(s.Updates)
 }
 
 // SafeRatio returns the fraction of updates classified safe (γ of the

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"paracosm/internal/concurrent"
 	"paracosm/internal/csm"
 	"paracosm/internal/graph"
 	"paracosm/internal/query"
@@ -37,6 +38,11 @@ type Engine struct {
 	// simBudget is the simulated-time budget of the current Run (simulate
 	// mode only; 0 when processing updates outside Run).
 	simBudget time.Duration
+
+	// pool is the persistent worker pool of the inner-update executor,
+	// started lazily on the first escalated update (see ensurePool) and
+	// released by Close. nil while no workers exist.
+	pool *concurrent.Pool[csm.State]
 }
 
 // New creates a ParaCOSM engine around algo.
@@ -62,6 +68,27 @@ func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.ThreadBusy = append([]time.Duration(nil), e.stats.ThreadBusy...)
 	return s
+}
+
+// totalElapsed reads Stats.TTotal alone. Hot loops (the per-update
+// simulate-budget check in Run, the budget probe in findMatchesSimulated)
+// use it instead of Stats(), which copies the whole struct plus the
+// ThreadBusy slice on every call.
+func (e *Engine) totalElapsed() time.Duration {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats.TTotal
+}
+
+// Close releases the persistent worker pool, joining its goroutines. It is
+// idempotent and safe on engines that never escalated (no pool exists).
+// Close must not overlap an in-flight ProcessUpdate/Run; the engine stays
+// usable afterwards — the next escalated update lazily restarts the pool.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
 }
 
 // ResetStats zeroes accumulated instrumentation.
@@ -91,14 +118,27 @@ func (e *Engine) Init(g *graph.Graph, q *query.Graph) error {
 // mutation, maintain the ADS, and find incremental matches with the
 // inner-update executor. It is the "unsafe update" path of the batch
 // executor and the whole story when InterUpdate is disabled.
+//
+// Timeout contract: when the context deadline expires mid-search,
+// ProcessUpdate returns csm.ErrDeadline with the graph mutation and ADS
+// maintenance APPLIED — for AddEdge the edge is in the graph, for
+// DeleteEdge it is gone — so the engine's state stays consistent with the
+// update having happened and the stream can continue past the deadline
+// error. The returned Delta then holds only the matches found before the
+// cutoff: a partial ΔM, i.e. a lower bound on the true incremental result.
+// Both edge paths honor the same contract; only a mutation error (invalid
+// update) leaves the graph untouched.
 func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delta, error) {
 	var d csm.Delta
+	var seqBusy time.Duration
 	deadline, hasDeadline := ctx.Deadline()
 	t0 := time.Now()
 
 	simulate := e.cfg.Simulate && e.cfg.Threads > 1
 	find := func(positive bool) innerResult {
 		if simulate {
+			// Simulated schedules attribute per-worker loads (including
+			// the caller slot) in simulateSchedule; seqBusy stays 0.
 			r, simFind := e.findMatchesSimulated(deadline, hasDeadline, upd, positive)
 			d.TFind = simFind
 			return r
@@ -106,6 +146,7 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 		tF := time.Now()
 		r := e.findMatchesParallel(deadline, hasDeadline, upd, positive)
 		d.TFind = time.Since(tF)
+		seqBusy = r.seqBusy
 		return r
 	}
 
@@ -120,7 +161,9 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 		r := find(true)
 		d.Positive, d.Nodes = r.matches, r.nodes
 		if r.timeout {
-			e.account(&d, t0)
+			// Mutation and ADS were applied before the search; Delta is
+			// the partial ΔM found so far (see the timeout contract).
+			e.account(&d, seqBusy, t0)
 			return d, csm.ErrDeadline
 		}
 
@@ -134,7 +177,10 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 		e.algo.UpdateADS(upd)
 		d.TADS = time.Since(tA)
 		if r.timeout {
-			e.account(&d, t0)
+			// The mutation and ADS update run even after a find-phase
+			// timeout, deliberately: the timeout contract guarantees the
+			// update is applied, with Delta a partial (lower-bound) ΔM.
+			e.account(&d, seqBusy, t0)
 			return d, csm.ErrDeadline
 		}
 
@@ -150,11 +196,11 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 		return d, fmt.Errorf("core: unknown op %v", upd.Op)
 	}
 
-	e.account(&d, t0)
+	e.account(&d, seqBusy, t0)
 	return d, nil
 }
 
-func (e *Engine) account(d *csm.Delta, t0 time.Time) {
+func (e *Engine) account(d *csm.Delta, seqBusy time.Duration, t0 time.Time) {
 	e.statsMu.Lock()
 	e.stats.Updates++
 	e.stats.Positive += d.Positive
@@ -162,6 +208,14 @@ func (e *Engine) account(d *csm.Delta, t0 time.Time) {
 	e.stats.Nodes += d.Nodes
 	e.stats.TADS += d.TADS
 	e.stats.TFind += d.TFind
+	if seqBusy > 0 {
+		// Attribute the sequential find phase to the caller slot so the
+		// per-thread busy CDF (Figure 10) covers the whole search.
+		if len(e.stats.ThreadBusy) == 0 {
+			e.stats.ThreadBusy = append(e.stats.ThreadBusy, 0)
+		}
+		e.stats.ThreadBusy[0] += seqBusy
+	}
 	if e.cfg.Simulate && e.cfg.Threads > 1 {
 		// In simulate mode TFind is already the simulated parallel time;
 		// wall-clock elapsed would double-count the sequential execution.
@@ -185,7 +239,7 @@ func (e *Engine) Run(ctx context.Context, s stream.Stream) (Stats, error) {
 		defer func() { e.simBudget = 0 }()
 	}
 	overSimBudget := func() bool {
-		return simBudget > 0 && e.Stats().TTotal > simBudget
+		return simBudget > 0 && e.totalElapsed() > simBudget
 	}
 	if !e.cfg.InterUpdate {
 		for i, upd := range s {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +14,11 @@ type innerResult struct {
 	matches uint64
 	nodes   uint64
 	timeout bool
+	// seqBusy is the caller-thread time spent in the sequential phase
+	// (root collection + pre-escalation DFS); account() attributes it to
+	// ThreadBusy[0] so Figure 10's CDF covers the whole search, not just
+	// the post-escalation part.
+	seqBusy time.Duration
 }
 
 // findMatchesParallel is the inner-update executor (Algorithm 2) with an
@@ -24,17 +27,19 @@ type innerResult struct {
 // (where any parallel coordination would dominate the work), while a rare
 // update explodes into millions of nodes. The executor therefore starts
 // every update sequentially under a node budget and escalates to the
-// parallel phase — BFS decomposition into a concurrent task queue drained
-// by a worker pool with adaptive re-splitting — only once the budget is
+// parallel phase — BFS decomposition into the persistent worker pool's
+// task queue, drained with adaptive re-splitting — only once the budget is
 // exceeded, i.e. exactly for the updates where parallelism pays.
 func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd stream.Update, positive bool) innerResult {
 	var res innerResult
+	tSeq := time.Now()
 
 	// Initialization: collect the first layer of the search tree.
 	stack := e.rootBuf[:0]
 	e.algo.Roots(upd, func(s csm.State) { stack = append(stack, s) })
 	e.rootBuf = stack[:0]
 	if len(stack) == 0 {
+		res.seqBusy = time.Since(tSeq)
 		return res
 	}
 
@@ -56,6 +61,7 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 		checkCounter++
 		if hasDeadline && checkCounter%1024 == 0 && time.Now().After(deadline) {
 			res.timeout = true
+			res.seqBusy = time.Since(tSeq)
 			return res
 		}
 		if c, done := e.algo.Terminal(&s); done {
@@ -65,6 +71,7 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 		}
 		e.algo.Expand(&s, func(child csm.State) { stack = append(stack, child) })
 	}
+	res.seqBusy = time.Since(tSeq)
 	if len(stack) == 0 {
 		return res
 	}
@@ -77,95 +84,94 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 	return res
 }
 
-// runWorkers is the parallel execution phase of Algorithm 2.
+// runWorkers is the parallel execution phase of Algorithm 2: one pool
+// epoch. The engine's persistent workers (started lazily here, released by
+// Engine.Close) drain the frontier; a task that detects starved siblings
+// re-splits its shallow subtrees back into the epoch's queue.
 func (e *Engine) runWorkers(frontier []csm.State, deadline time.Time, hasDeadline bool, positive bool) innerResult {
 	threads := e.cfg.Threads
-	var queue concurrent.Queue[csm.State]
-	queue.PushAll(frontier)
+	pool := e.ensurePool()
 
 	var (
-		matches atomic.Uint64
-		nodes   atomic.Uint64
-		aborted atomic.Bool
-		idle    atomic.Int32
-		wg      sync.WaitGroup
+		matches  atomic.Uint64
+		nodes    atomic.Uint64
+		aborted  atomic.Bool
+		resplits atomic.Uint64
 	)
+	// busy[w] and checkCtr[w] are touched only by pool worker w during the
+	// epoch and read by this goroutine after Submit returns; the pool's
+	// internal mutex orders those accesses (task end happens-before Submit
+	// returning), so plain slices suffice.
+	busy := make([]time.Duration, threads)
+	checkCtr := make([]uint64, threads)
 
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var busy time.Duration
-			var localNodes, localMatches uint64
+	run := func(w int, root csm.State) {
+		if aborted.Load() {
+			return
+		}
+		t0 := time.Now()
+		var localNodes, localMatches uint64
 
-			var dfs func(s *csm.State)
-			dfs = func(s *csm.State) {
-				if aborted.Load() {
-					return
-				}
-				localNodes++
-				if hasDeadline && localNodes%1024 == 0 && time.Now().After(deadline) {
-					aborted.Store(true)
-					return
-				}
-				if c, done := e.algo.Terminal(s); done {
-					localMatches += c
-					e.emitMatch(s, c, positive)
-					return
-				}
-				// Adaptive task sharing: re-split shallow subtrees into
-				// queue tasks when other workers are starved.
-				if e.cfg.LoadBalance && int(s.Depth) < e.splitDepth &&
-					idle.Load() > 0 && queue.Empty() {
-					e.algo.Expand(s, func(child csm.State) { queue.Push(child) })
-					return
-				}
-				e.algo.Expand(s, func(child csm.State) { dfs(&child) })
+		var dfs func(s *csm.State)
+		dfs = func(s *csm.State) {
+			if aborted.Load() {
+				return
 			}
-
-			for {
-				s, ok := queue.Pop()
-				if ok {
-					t0 := time.Now()
-					dfs(&s)
-					busy += time.Since(t0)
-					continue
-				}
-				// Queue empty: declare idle. All workers idle with an
-				// empty queue means no task exists or can appear.
-				idle.Add(1)
-				for {
-					if aborted.Load() {
-						e.finishWorker(w, busy, localNodes, localMatches, &nodes, &matches)
-						return
-					}
-					if queue.Len() > 0 {
-						idle.Add(-1)
-						break
-					}
-					if int(idle.Load()) == threads {
-						e.finishWorker(w, busy, localNodes, localMatches, &nodes, &matches)
-						return
-					}
-					runtime.Gosched()
-				}
+			localNodes++
+			checkCtr[w]++
+			if hasDeadline && checkCtr[w]%1024 == 0 && time.Now().After(deadline) {
+				aborted.Store(true)
+				return
 			}
-		}(w)
+			if c, done := e.algo.Terminal(s); done {
+				localMatches += c
+				e.emitMatch(s, c, positive)
+				return
+			}
+			// Adaptive task sharing: re-split shallow subtrees into
+			// queue tasks when other workers are starved.
+			if e.cfg.LoadBalance && int(s.Depth) < e.splitDepth && pool.Starved() {
+				e.algo.Expand(s, func(child csm.State) { pool.Push(child) })
+				resplits.Add(1)
+				return
+			}
+			e.algo.Expand(s, func(child csm.State) { dfs(&child) })
+		}
+		dfs(&root)
+
+		busy[w] += time.Since(t0)
+		nodes.Add(localNodes)
+		matches.Add(localMatches)
 	}
-	wg.Wait()
+
+	parks0, wakeups0 := pool.Counters()
+	pool.Submit(frontier, run)
+	parks1, wakeups1 := pool.Counters()
+
+	e.statsMu.Lock()
+	e.stats.Escalations++
+	e.stats.Resplits += resplits.Load()
+	e.stats.Parks += parks1 - parks0
+	e.stats.Wakeups += wakeups1 - wakeups0
+	for len(e.stats.ThreadBusy) < threads+1 {
+		e.stats.ThreadBusy = append(e.stats.ThreadBusy, 0)
+	}
+	for w, b := range busy {
+		e.stats.ThreadBusy[w+1] += b
+	}
+	e.statsMu.Unlock()
 
 	return innerResult{matches: matches.Load(), nodes: nodes.Load(), timeout: aborted.Load()}
 }
 
-func (e *Engine) finishWorker(w int, busy time.Duration, localNodes, localMatches uint64, nodes, matches *atomic.Uint64) {
-	nodes.Add(localNodes)
-	matches.Add(localMatches)
-	e.statsMu.Lock()
-	for len(e.stats.ThreadBusy) <= w {
-		e.stats.ThreadBusy = append(e.stats.ThreadBusy, 0)
+// ensurePool lazily starts the persistent worker pool: engines that never
+// escalate (Threads==1, or streams of only light updates) never spawn a
+// goroutine. Engine.Close releases it; a later escalation restarts it.
+func (e *Engine) ensurePool() *concurrent.Pool[csm.State] {
+	if e.pool == nil {
+		e.pool = concurrent.NewPool[csm.State](e.cfg.Threads)
 	}
-	e.stats.ThreadBusy[w] += busy
-	e.statsMu.Unlock()
+	return e.pool
 }
 
 // emitMatch serializes OnMatch callbacks across workers.

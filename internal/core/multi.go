@@ -93,6 +93,16 @@ func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
 	return firstErr
 }
 
+// Close releases every per-query engine's worker pool (see Engine.Close).
+// Idempotent; the engines stay usable afterwards.
+func (m *MultiEngine) Close() {
+	for _, mq := range m.queries {
+		if mq.eng != nil {
+			mq.eng.Close()
+		}
+	}
+}
+
 // Stats returns the per-query statistics, keyed by registration name.
 func (m *MultiEngine) Stats() map[string]Stats {
 	out := make(map[string]Stats, len(m.queries))

@@ -7,13 +7,16 @@ import (
 
 	"paracosm/internal/algo/algotest"
 	"paracosm/internal/csm"
+	"paracosm/internal/stream"
 )
 
 // TestWorkerPoolCorrectness forces the real parallel phase (escalation
-// after 16 nodes) on a dense workload and checks the match totals against
-// sequential execution for every algorithm and several thread counts.
-// This is the test that actually exercises runWorkers' task queue,
-// idle-detection termination and adaptive re-splitting; run with -race.
+// after 16 nodes) on a dense workload — edge inserts, edge deletes and
+// vertex ops — and checks that the pooled executor returns identical
+// match and search-node counts to sequential execution for every
+// algorithm and several thread counts. This is the test that actually
+// exercises the persistent pool's epoch handshake, parking/termination
+// protocol and adaptive re-splitting; run with -race.
 func TestWorkerPoolCorrectness(t *testing.T) {
 	for _, f := range algotest.Factories() {
 		f := f
@@ -29,10 +32,16 @@ func TestWorkerPoolCorrectness(t *testing.T) {
 					continue
 				}
 				s := algotest.RandomStream(rng, g0, 12, 0.8, 1)
+				// Vertex ops ride the same path: add an isolated vertex
+				// (id 60 on every run, graphs are clones) and delete it.
+				s = append(s,
+					stream.Update{Op: stream.AddVertex, VLabel: 1},
+					stream.Update{Op: stream.DeleteVertex, U: 60})
 
-				run := func(threads int) (uint64, uint64) {
+				run := func(threads int) (uint64, uint64, uint64) {
 					eng := New(f.New(), Threads(threads), InterUpdate(false),
 						EscalateNodes(16), SplitDepth(3))
+					defer eng.Close()
 					if err := eng.Init(g0.Clone(), q); err != nil {
 						t.Fatal(err)
 					}
@@ -40,14 +49,14 @@ func TestWorkerPoolCorrectness(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					return st.Positive, st.Negative
+					return st.Positive, st.Negative, st.Nodes
 				}
-				wantPos, wantNeg := run(1)
+				wantPos, wantNeg, wantNodes := run(1)
 				for _, threads := range []int{2, 4, 8} {
-					gotPos, gotNeg := run(threads)
-					if gotPos != wantPos || gotNeg != wantNeg {
-						t.Fatalf("seed %d threads %d: (+%d,-%d) != sequential (+%d,-%d)",
-							seed, threads, gotPos, gotNeg, wantPos, wantNeg)
+					gotPos, gotNeg, gotNodes := run(threads)
+					if gotPos != wantPos || gotNeg != wantNeg || gotNodes != wantNodes {
+						t.Fatalf("seed %d threads %d: (+%d,-%d,%d nodes) != sequential (+%d,-%d,%d nodes)",
+							seed, threads, gotPos, gotNeg, gotNodes, wantPos, wantNeg, wantNodes)
 					}
 				}
 			}

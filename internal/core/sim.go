@@ -80,7 +80,7 @@ func (e *Engine) findMatchesSimulated(deadline time.Time, hasDeadline bool, upd 
 	var simLimit, realCap time.Duration
 	if hasDeadline {
 		if e.simBudget > 0 {
-			simLimit = e.simBudget - e.Stats().TTotal
+			simLimit = e.simBudget - e.totalElapsed()
 		} else {
 			simLimit = time.Until(deadline)
 		}
@@ -160,8 +160,15 @@ func (e *Engine) simulateSchedule(prof *simProfile, measured time.Duration) time
 	}
 	perNode := float64(measured) / float64(prof.totalNodes)
 	// Below the escalation threshold the executor never goes parallel:
-	// simulated time is the measured sequential time.
+	// simulated time is the measured sequential time, attributed to the
+	// caller slot (ThreadBusy[0]) like real sequential phases.
 	if prof.totalNodes <= uint64(e.cfg.EscalateNodes) || threads <= 1 {
+		e.statsMu.Lock()
+		if len(e.stats.ThreadBusy) == 0 {
+			e.stats.ThreadBusy = append(e.stats.ThreadBusy, 0)
+		}
+		e.stats.ThreadBusy[0] += measured
+		e.statsMu.Unlock()
 		return measured
 	}
 
@@ -202,12 +209,17 @@ func (e *Engine) simulateSchedule(prof *simProfile, measured time.Duration) time
 	sim := time.Duration(float64(pre+makespan)*perNode) + overhead
 
 	e.statsMu.Lock()
-	for len(e.stats.ThreadBusy) < threads {
+	for len(e.stats.ThreadBusy) < threads+1 {
 		e.stats.ThreadBusy = append(e.stats.ThreadBusy, 0)
 	}
+	// Slot 0 is the caller thread (initialization above the coarse split
+	// layer); slots 1..threads are the simulated workers — the same
+	// convention the real executor uses (see Stats.ThreadBusy).
+	e.stats.ThreadBusy[0] += time.Duration(float64(pre) * perNode)
 	for w, l := range loads {
-		e.stats.ThreadBusy[w] += time.Duration(float64(l) * perNode)
+		e.stats.ThreadBusy[w+1] += time.Duration(float64(l) * perNode)
 	}
+	e.stats.Escalations++
 	e.statsMu.Unlock()
 	return sim
 }

@@ -2,15 +2,27 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
-// GoroutineLeak checks that every `go func literal` is joinable by its
-// spawner: the body must either call Done (directly or deferred) on a
-// sync.WaitGroup that saw an Add call in the enclosing function, or
-// send on / close a channel, so the spawner has a handle to wait on.
-// Fire-and-forget goroutines silently outlive engine runs, leak under
-// repeated Init/Run cycles, and make Stats racy; intentional daemons must
-// say so with //lint:ignore goroutineleak <reason>.
+// GoroutineLeak checks that every goroutine spawn is joinable by its
+// spawner. Two spawn shapes are analyzed:
+//
+//   - `go func literal`: the body must call Done (directly or deferred) on
+//     a sync.WaitGroup that saw an Add call in the enclosing function, or
+//     send on / close a channel, so the spawner has a handle to wait on.
+//
+//   - `go x.method(...)` / `go fn(...)` resolving to a declaration in the
+//     same package: the callee's body is inspected the same way. This is
+//     the join-via-Close pattern of persistent worker pools
+//     (concurrent.Pool): the constructor Add-s a WaitGroup per spawned
+//     worker, the worker method defers Done, and Close Wait-s — the
+//     goroutines are long-lived but still joined.
+//
+// Spawns of functions declared outside the package cannot be inspected and
+// are skipped. Fire-and-forget goroutines silently outlive engine runs,
+// leak under repeated Init/Run cycles, and make Stats racy; intentional
+// daemons must say so with //lint:ignore goroutineleak <reason>.
 type GoroutineLeak struct{}
 
 func (GoroutineLeak) Name() string { return "goroutineleak" }
@@ -18,6 +30,14 @@ func (GoroutineLeak) Name() string { return "goroutineleak" }
 func (GoroutineLeak) Check(pkgs []*Package) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range pkgs {
+		// Index the package's function/method declarations by type object
+		// so `go x.method()` spawns resolve to their bodies.
+		decls := map[types.Object]*ast.FuncDecl{}
+		for _, fd := range funcDecls(p) {
+			if o := p.Info.Defs[fd.Name]; o != nil {
+				decls[o] = fd
+			}
+		}
 		for _, fd := range funcDecls(p) {
 			// WaitGroup bases with an Add call anywhere in the spawning
 			// function (flow-insensitive; Add-after-go is pathological
@@ -46,13 +66,28 @@ func (GoroutineLeak) Check(pkgs []*Package) []Diagnostic {
 				if !ok {
 					return true
 				}
-				fl, ok := g.Call.Fun.(*ast.FuncLit)
-				if !ok {
+				var body *ast.BlockStmt
+				switch fun := g.Call.Fun.(type) {
+				case *ast.FuncLit:
+					body = fun.Body
+				case *ast.Ident:
+					if d := decls[p.Info.Uses[fun]]; d != nil {
+						body = d.Body
+					} else {
+						return true // out-of-package function: uncheckable
+					}
+				case *ast.SelectorExpr:
+					if d := decls[p.Info.Uses[fun.Sel]]; d != nil {
+						body = d.Body
+					} else {
+						return true // out-of-package method: uncheckable
+					}
+				default:
 					return true
 				}
-				if !joinable(p, fl, added) {
+				if !joinable(p, body, added) {
 					out = append(out, diagAt(p, g.Pos(), "goroutineleak",
-						"go func literal has no join: call wg.Done for a WaitGroup Add-ed in "+
+						"goroutine has no join: call wg.Done for a WaitGroup Add-ed in "+
 							fd.Name.Name+", or send on/close a channel the spawner can observe"))
 				}
 				return true
@@ -65,9 +100,9 @@ func (GoroutineLeak) Check(pkgs []*Package) []Diagnostic {
 // joinable reports whether the goroutine body signals completion: a Done
 // call on a WaitGroup that the spawning function Add-ed, a channel send,
 // or a close call.
-func joinable(p *Package, fl *ast.FuncLit, added map[string]bool) bool {
+func joinable(p *Package, body *ast.BlockStmt, added map[string]bool) bool {
 	ok := false
-	ast.Inspect(fl.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if ok {
 			return false
 		}
@@ -87,9 +122,10 @@ func joinable(p *Package, fl *ast.FuncLit, added map[string]bool) bool {
 				return true
 			}
 			// The WaitGroup must be the one the spawner Add-ed. A closure
-			// captures it under the same name; a parameter-passed WaitGroup
-			// (different name) is accepted only when the spawner Add-ed
-			// some WaitGroup at all.
+			// (or a method on the same receiver name) sees it under the
+			// same rendered path; a parameter-passed WaitGroup (different
+			// name) is accepted only when the spawner Add-ed some
+			// WaitGroup at all.
 			if b := render(sel.X); added[b] || len(added) > 0 {
 				ok = true
 			}

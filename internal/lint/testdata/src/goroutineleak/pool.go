@@ -1,0 +1,62 @@
+package goroutineleakfix
+
+import "sync"
+
+// The persistent-pool (join-via-Close) pattern: the constructor Add-s a
+// WaitGroup per spawned worker method, the worker defers Done, and Close
+// Wait-s. The spawn is a method call, not a func literal — the analyzer
+// must resolve the method body in the same package.
+
+type workerPool struct {
+	wg sync.WaitGroup
+}
+
+func (p *workerPool) worker(w int) {
+	defer p.wg.Done()
+	_ = w
+}
+
+// loop has no Done/send/close: spawning it is fire-and-forget.
+func (p *workerPool) loop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{}
+	for w := 0; w < size; w++ {
+		p.wg.Add(1)
+		go p.worker(w) // ok: worker defers p.wg.Done; Close joins via Wait
+	}
+	return p
+}
+
+func (p *workerPool) Close() { p.wg.Wait() }
+
+func startDaemon() *workerPool {
+	p := &workerPool{}
+	go p.loop() // want goroutineleak
+	return p
+}
+
+// chanWorker signals completion on a channel: joinable.
+func chanWorker(ch chan struct{}) {
+	ch <- struct{}{}
+}
+
+func spawnChanWorker() chan struct{} {
+	ch := make(chan struct{})
+	go chanWorker(ch) // ok: sends on a channel the spawner holds
+	return ch
+}
+
+// runForever is a plain same-package function with no join handle.
+func runForever() {
+	for {
+	}
+}
+
+func spawnForever() {
+	go runForever() // want goroutineleak
+}

@@ -12,6 +12,25 @@ import (
 	"time"
 )
 
+// Rate converts an event count over an elapsed duration into events per
+// second (0 when elapsed is not positive) — the unit the perf-trajectory
+// baselines (BENCH_*.json: updates/sec, park/wakeup rates) report in.
+func Rate(n uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// Fraction returns part/whole as a float64 (0 when whole is 0): the shape
+// escalation rates and safe-update ratios are reported in.
+func Fraction(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
 // Summary holds basic order statistics of a sample of durations.
 type Summary struct {
 	N             int

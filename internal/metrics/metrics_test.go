@@ -79,3 +79,24 @@ func TestTableIntegerFloats(t *testing.T) {
 		t.Fatalf("integral float not compact: %s", tb.String())
 	}
 }
+
+func TestRate(t *testing.T) {
+	if got := Rate(500, time.Second); got != 500 {
+		t.Fatalf("Rate(500, 1s) = %v", got)
+	}
+	if got := Rate(100, 2*time.Second); got != 50 {
+		t.Fatalf("Rate(100, 2s) = %v", got)
+	}
+	if got := Rate(7, 0); got != 0 {
+		t.Fatalf("Rate(7, 0) = %v, want 0", got)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if got := Fraction(1, 4); got != 0.25 {
+		t.Fatalf("Fraction(1,4) = %v", got)
+	}
+	if got := Fraction(3, 0); got != 0 {
+		t.Fatalf("Fraction(3,0) = %v, want 0", got)
+	}
+}

@@ -112,7 +112,10 @@ type (
 // ErrDeadline is returned when a processing budget expires mid-search.
 var ErrDeadline = csm.ErrDeadline
 
-// New creates a ParaCOSM engine around any Algorithm.
+// New creates a ParaCOSM engine around any Algorithm. Call Close when
+// the engine is no longer needed to release its persistent worker pool
+// (the pool starts lazily on the first parallel escalation, so engines
+// that never escalate hold no goroutines).
 func New(a Algorithm, opts ...Option) *Engine { return core.New(a, opts...) }
 
 // Engine options (see core.Config for semantics).
@@ -168,7 +171,8 @@ func SJTree() Algorithm { return sjtree.New() }
 // query-level parallelism on top of ParaCOSM's two levels.
 type MultiEngine = core.MultiEngine
 
-// NewMulti creates an empty multi-query engine.
+// NewMulti creates an empty multi-query engine. Call Close when done to
+// release the per-query engines' worker pools.
 func NewMulti(opts ...Option) *MultiEngine { return core.NewMulti(opts...) }
 
 // Dataset synthesis (stand-ins for the paper's evaluation datasets).
