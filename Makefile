@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-json fuzz experiments examples clean
+.PHONY: all build lint test race bench bench-json debug-smoke fuzz experiments examples clean
 
 all: lint test
 
@@ -31,7 +31,13 @@ bench:
 # (non-simulated) worker pool — updates/sec, escalation rate and
 # park/wakeup counters. CI runs this as a non-gating step.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+
+# End-to-end smoke of the observability layer: run paracosm with
+# -debug-addr on a generated dataset and curl /healthz, /metrics and
+# /trace while the server lingers.
+debug-smoke:
+	./scripts/debug_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/

@@ -16,19 +16,21 @@ import (
 	"time"
 
 	"paracosm/internal/bench"
+	"paracosm/internal/obs"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		scale   = flag.Float64("scale", 0.002, "dataset scale factor relative to Table 5 sizes")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		queries = flag.Int("queries", 3, "queries per query size (paper: 100)")
-		updates = flag.Int("updates", 300, "max stream updates per query")
-		budget  = flag.Duration("budget", 2*time.Second, "per-query time budget (paper: 1h)")
-		threads = flag.Int("threads", 0, "parallel worker count (default GOMAXPROCS; paper headline: 32)")
-		sim     = flag.Bool("simulate", false, "force execution-driven schedule simulation (automatic whenever the machine has fewer CPUs than -threads)")
+		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		scale     = flag.Float64("scale", 0.002, "dataset scale factor relative to Table 5 sizes")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		queries   = flag.Int("queries", 3, "queries per query size (paper: 100)")
+		updates   = flag.Int("updates", 300, "max stream updates per query")
+		budget    = flag.Duration("budget", 2*time.Second, "per-query time budget (paper: 1h)")
+		threads   = flag.Int("threads", 0, "parallel worker count (default GOMAXPROCS; paper headline: 32)")
+		sim       = flag.Bool("simulate", false, "force execution-driven schedule simulation (automatic whenever the machine has fewer CPUs than -threads)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -48,6 +50,16 @@ func main() {
 		Threads:        *threads,
 		Simulate:       *sim,
 	}.Defaults()
+	if *debugAddr != "" {
+		cfg.Tracer = obs.NewTracer(obs.DefaultRingCap)
+		dbg, err := obs.StartServer(*debugAddr, cfg.Tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", dbg.Addr())
+	}
 
 	var exps []bench.Experiment
 	switch {

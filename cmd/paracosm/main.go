@@ -7,12 +7,19 @@
 //
 //	paracosm -data data_graph.txt -query query_6_000.txt \
 //	         -stream insertion_stream.txt -algo Symbi -threads 32
+//
+// With -debug-addr the run exposes the observability layer over HTTP
+// (/metrics, /trace, /healthz, /debug/pprof). A saved trace (-trace-out,
+// or curl of /trace) is analyzed offline with the trace subcommand:
+//
+//	paracosm trace -top 5 trace.jsonl
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,11 +27,16 @@ import (
 	"paracosm/internal/core"
 	"paracosm/internal/csm"
 	"paracosm/internal/graph"
+	"paracosm/internal/obs"
 	"paracosm/internal/query"
 	"paracosm/internal/stream"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
+		return
+	}
 	var (
 		dataPath   = flag.String("data", "", "data graph file (required)")
 		queryPath  = flag.String("query", "", "query graph file (required)")
@@ -36,6 +48,10 @@ func main() {
 		split      = flag.Int("split", 4, "SPLIT_DEPTH for adaptive task sharing")
 		budget     = flag.Duration("budget", time.Hour, "processing time budget")
 		verbose    = flag.Bool("v", false, "print every incremental match")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (e.g. :8080)")
+		traceCap   = flag.Int("trace-cap", obs.DefaultRingCap, "trace ring capacity (older events are overwritten)")
+		traceOut   = flag.String("trace-out", "", "write the trace ring as JSONL to this file at end of run")
+		linger     = flag.Duration("debug-linger", 0, "keep the debug server up this long after the run (0 = exit immediately)")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" || *streamPath == "" {
@@ -51,11 +67,26 @@ func main() {
 		fatal(err)
 	}
 
+	var tracer *obs.Tracer
+	if *debugAddr != "" || *traceOut != "" {
+		tracer = obs.NewTracer(*traceCap)
+	}
+	var dbg *obs.Server
+	if *debugAddr != "" {
+		dbg, err = obs.StartServer(*debugAddr, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /trace /healthz /debug/pprof)\n", dbg.Addr())
+	}
+
 	eng := core.New(entry.New(),
 		core.Threads(*threads),
 		core.InterUpdate(*inter),
 		core.BatchSize(*batch),
-		core.SplitDepth(*split))
+		core.SplitDepth(*split),
+		core.WithTracer(tracer))
 	defer eng.Close()
 	if *verbose {
 		eng.OnMatch = func(st *csm.State, count uint64, positive bool) {
@@ -93,6 +124,65 @@ func main() {
 	if st.Updates > 0 {
 		fmt.Printf("throughput     : %.0f updates/s\n", float64(st.Updates)/st.TTotal.Seconds())
 	}
+	if tracer != nil {
+		lat := tracer.Hist(obs.PhaseTotal)
+		fmt.Printf("update latency : p50 %v  p90 %v  p99 %v  max %v\n",
+			lat.Quantile(0.50).Round(time.Microsecond),
+			lat.Quantile(0.90).Round(time.Microsecond),
+			lat.Quantile(0.99).Round(time.Microsecond),
+			lat.Max().Round(time.Microsecond))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.Ring().WriteJSONL(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped)\n",
+			tracer.Ring().Len(), *traceOut, tracer.Ring().Dropped())
+	}
+	if dbg != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "debug server lingering for %v\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// traceMain implements `paracosm trace [-top k] <trace.jsonl>`: offline
+// analysis of a trace ring dump (from -trace-out or `curl /trace`).
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("paracosm trace", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of straggler updates to list")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: paracosm trace [-top k] <trace.jsonl>  (use - for stdin)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var rd io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+	evs, err := obs.ReadJSONL(rd)
+	if err != nil {
+		fatal(err)
+	}
+	obs.Analyze(evs, *top).Render(os.Stdout)
 }
 
 func formatMatch(st *csm.State, q *query.Graph) string {

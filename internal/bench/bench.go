@@ -19,6 +19,7 @@ import (
 	"paracosm/internal/core"
 	"paracosm/internal/csm"
 	"paracosm/internal/dataset"
+	"paracosm/internal/obs"
 	"paracosm/internal/query"
 	"paracosm/internal/stream"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// the machine has fewer CPUs than Threads, which is when wall-clock
 	// speedups are unmeasurable.
 	Simulate bool
+	// Tracer, if non-nil, is attached to every engine the harness runs
+	// (see core.WithTracer): its counters and latency histograms then
+	// aggregate across all experiments, which is what the -debug-addr
+	// flag of cmd/experiments serves live.
+	Tracer *obs.Tracer
 }
 
 // Defaults fills unset fields.
@@ -160,6 +166,11 @@ type RunResult struct {
 // using the given engine options, under the per-query budget.
 func (c Config) runOne(entry algo.Entry, d *dataset.Dataset, q *query.Graph, s stream.Stream, opts ...core.Option) RunResult {
 	g := d.Graph.Clone()
+	if c.Tracer != nil {
+		// Prepend so an explicit per-call WithTracer (e.g. benchjson's
+		// per-record tracer) wins over the harness-wide one.
+		opts = append([]core.Option{core.WithTracer(c.Tracer)}, opts...)
+	}
 	eng := core.New(entry.New(), opts...)
 	defer eng.Close()
 	if err := eng.Init(g, q); err != nil {

@@ -17,6 +17,8 @@ package core
 import (
 	"runtime"
 	"time"
+
+	"paracosm/internal/obs"
 )
 
 // Config controls ParaCOSM's parallel execution.
@@ -60,6 +62,14 @@ type Config struct {
 	// for Threads virtual workers from measured per-node costs. Use on
 	// machines with fewer cores than the configuration under study.
 	Simulate bool
+
+	// Tracer, if non-nil, receives one obs.Event per processed update
+	// (safe and unsafe alike) plus per-batch classification timings: the
+	// always-on observability hook behind the /debug server. nil (the
+	// default) costs a single predictable branch per update and zero
+	// allocations — the hot path is unchanged. A single Tracer may be
+	// shared across engines; its counters then aggregate.
+	Tracer *obs.Tracer
 }
 
 // Option mutates a Config.
@@ -86,6 +96,9 @@ func InterUpdate(on bool) Option { return func(c *Config) { c.InterUpdate = on }
 
 // Simulate toggles execution-driven schedule simulation.
 func Simulate(on bool) Option { return func(c *Config) { c.Simulate = on } }
+
+// WithTracer attaches an observability tracer (nil detaches).
+func WithTracer(t *obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
 
 func defaultConfig() Config {
 	return Config{

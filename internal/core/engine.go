@@ -9,6 +9,7 @@ import (
 	"paracosm/internal/concurrent"
 	"paracosm/internal/csm"
 	"paracosm/internal/graph"
+	"paracosm/internal/obs"
 	"paracosm/internal/query"
 	"paracosm/internal/stream"
 )
@@ -28,8 +29,15 @@ type Engine struct {
 	statsMu sync.Mutex
 	matchMu sync.Mutex
 
-	// rootBuf is reused across updates for the sequential DFS stack.
-	rootBuf []csm.State
+	// rootBuf is reused across updates for the sequential DFS stack. The
+	// sequential phase pops into seqState and pushes through pushSeq: the
+	// scratch node lives in the (already heap-resident) engine and the
+	// callback is allocated once in New, so interface calls into
+	// Roots/Terminal/Expand force no per-node escapes — the non-escalated
+	// hot path performs zero allocations per update.
+	rootBuf  []csm.State
+	seqState csm.State
+	pushSeq  func(csm.State)
 
 	// splitDepth is the effective SPLIT_DEPTH (auto-tuned from the query
 	// size when Config.SplitDepth is 0).
@@ -52,7 +60,9 @@ func New(algo csm.Algorithm, opts ...Option) *Engine {
 		o(&cfg)
 	}
 	cfg.normalize()
-	return &Engine{cfg: cfg, algo: algo}
+	e := &Engine{cfg: cfg, algo: algo}
+	e.pushSeq = func(s csm.State) { e.rootBuf = append(e.rootBuf, s) }
+	return e
 }
 
 // Config returns the engine's effective configuration.
@@ -129,46 +139,41 @@ func (e *Engine) Init(g *graph.Graph, q *query.Graph) error {
 // Both edge paths honor the same contract; only a mutation error (invalid
 // update) leaves the graph untouched.
 func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delta, error) {
+	return e.processUpdate(ctx, upd, classDirect, false)
+}
+
+// processUpdate is ProcessUpdate plus the caller's classification verdict
+// (classDirect when the update bypassed the batch executor), which only
+// feeds the trace event — execution is identical for every class. The
+// body is deliberately closure-free: closures capturing the delta would
+// escape to the heap and put allocations on the per-update hot path.
+func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classification, reclassified bool) (csm.Delta, error) {
 	var d csm.Delta
+	var r innerResult
 	var seqBusy time.Duration
+	var err error
 	deadline, hasDeadline := ctx.Deadline()
 	t0 := time.Now()
-
 	simulate := e.cfg.Simulate && e.cfg.Threads > 1
-	find := func(positive bool) innerResult {
-		if simulate {
-			// Simulated schedules attribute per-worker loads (including
-			// the caller slot) in simulateSchedule; seqBusy stays 0.
-			r, simFind := e.findMatchesSimulated(deadline, hasDeadline, upd, positive)
-			d.TFind = simFind
-			return r
-		}
-		tF := time.Now()
-		r := e.findMatchesParallel(deadline, hasDeadline, upd, positive)
-		d.TFind = time.Since(tF)
-		seqBusy = r.seqBusy
-		return r
-	}
 
 	switch upd.Op {
 	case stream.AddEdge:
-		if err := upd.Apply(e.g); err != nil {
-			return d, err
+		if aerr := upd.Apply(e.g); aerr != nil {
+			return d, aerr
 		}
 		tA := time.Now()
 		e.algo.UpdateADS(upd)
 		d.TADS = time.Since(tA)
-		r := find(true)
+		r, seqBusy = e.findPhase(deadline, hasDeadline, upd, true, simulate, &d)
 		d.Positive, d.Nodes = r.matches, r.nodes
 		if r.timeout {
 			// Mutation and ADS were applied before the search; Delta is
 			// the partial ΔM found so far (see the timeout contract).
-			e.account(&d, seqBusy, t0)
-			return d, csm.ErrDeadline
+			err = csm.ErrDeadline
 		}
 
 	case stream.DeleteEdge:
-		r := find(false)
+		r, seqBusy = e.findPhase(deadline, hasDeadline, upd, false, simulate, &d)
 		d.Negative, d.Nodes = r.matches, r.nodes
 		if aerr := upd.Apply(e.g); aerr != nil {
 			return d, aerr
@@ -180,13 +185,12 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 			// The mutation and ADS update run even after a find-phase
 			// timeout, deliberately: the timeout contract guarantees the
 			// update is applied, with Delta a partial (lower-bound) ΔM.
-			e.account(&d, seqBusy, t0)
-			return d, csm.ErrDeadline
+			err = csm.ErrDeadline
 		}
 
 	case stream.AddVertex, stream.DeleteVertex:
-		if err := upd.Apply(e.g); err != nil {
-			return d, err
+		if aerr := upd.Apply(e.g); aerr != nil {
+			return d, aerr
 		}
 		tA := time.Now()
 		e.algo.UpdateADS(upd)
@@ -197,7 +201,54 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 	}
 
 	e.account(&d, seqBusy, t0)
-	return d, nil
+	if e.cfg.Tracer != nil {
+		total := time.Since(t0)
+		if simulate {
+			// Wall-clock elapsed would report the sequential execution
+			// the simulation replaces (see account).
+			total = d.TADS + d.TFind
+		}
+		e.traceUpdate(upd, cl, reclassified, &d, &r, total, err != nil)
+	}
+	return d, err
+}
+
+// findPhase runs the find-matches phase — real or simulated — filling
+// d.TFind and returning the inner result plus the caller-thread busy
+// time (0 in simulate mode: simulateSchedule attributes per-worker
+// loads, including the caller slot, itself).
+func (e *Engine) findPhase(deadline time.Time, hasDeadline bool, upd stream.Update, positive, simulate bool, d *csm.Delta) (innerResult, time.Duration) {
+	if simulate {
+		r, simFind := e.findMatchesSimulated(deadline, hasDeadline, upd, positive)
+		d.TFind = simFind
+		return r, 0
+	}
+	tF := time.Now()
+	r := e.findMatchesParallel(deadline, hasDeadline, upd, positive)
+	d.TFind = time.Since(tF)
+	return r, r.seqBusy
+}
+
+// traceUpdate builds and emits the per-update trace event. Callers check
+// cfg.Tracer != nil first, so the non-traced hot path pays one branch and
+// no call; the event itself is stack-allocated and the Op/Class strings
+// are constants, so even the traced path allocates nothing per update.
+func (e *Engine) traceUpdate(upd stream.Update, cl classification, reclassified bool, d *csm.Delta, r *innerResult, total time.Duration, timeout bool) {
+	e.cfg.Tracer.Update(obs.Event{
+		Op:           upd.Op.String(),
+		U:            uint32(upd.U),
+		V:            uint32(upd.V),
+		Class:        cl.traceClass(),
+		Reclassified: reclassified,
+		Escalated:    r.escalated,
+		Timeout:      timeout,
+		Nodes:        d.Nodes,
+		Resplits:     r.resplits,
+		Matches:      d.Positive + d.Negative,
+		ADS:          d.TADS,
+		Find:         d.TFind,
+		Total:        total,
+	})
 }
 
 func (e *Engine) account(d *csm.Delta, seqBusy time.Duration, t0 time.Time) {
@@ -278,7 +329,29 @@ const (
 	classSafeDegree
 	classSafeADS
 	classVertexOp
+	// classDirect marks updates that never went through the classifier
+	// (InterUpdate disabled, or direct ProcessUpdate calls). It is a
+	// trace-only value: classify() never returns it.
+	classDirect
 )
+
+// traceClass maps the verdict to its trace-event label. The values are
+// package constants, so building an event never allocates.
+func (c classification) traceClass() string {
+	switch c {
+	case classUnsafe:
+		return obs.ClassUnsafe
+	case classSafeLabel:
+		return obs.ClassSafeLabel
+	case classSafeDegree:
+		return obs.ClassSafeDegree
+	case classSafeADS:
+		return obs.ClassSafeADS
+	case classVertexOp:
+		return obs.ClassVertex
+	}
+	return obs.ClassDirect
+}
 
 // classify runs the three-stage filter of §4.2 for one update against the
 // current graph/ADS state. It never mutates anything.
@@ -358,6 +431,9 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 	e.stats.Batches++
 	e.stats.TTotal += classifyCost
 	e.statsMu.Unlock()
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Classify(classifyCost)
+	}
 
 	// Stage B: ordered application. Safe updates are applied directly
 	// (no ADS maintenance, no enumeration — that is the whole point);
@@ -369,6 +445,7 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 	consumed := 0
 	for j, upd := range batch {
 		v := verdicts[j]
+		reclassified := false
 		// Earlier updates in this batch may have changed endpoint degrees
 		// or the ADS since stage-A classification, so degree- and
 		// ADS-based safe verdicts are re-validated against the current
@@ -377,6 +454,7 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 		if (v == classSafeDegree || v == classSafeADS) && upd.IsEdge() {
 			if rv := e.classify(upd); rv == classUnsafe {
 				v = classUnsafe
+				reclassified = true
 				e.statsMu.Lock()
 				e.stats.Reclassified++
 				e.statsMu.Unlock()
@@ -386,7 +464,7 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 		}
 		switch v {
 		case classVertexOp:
-			if _, err := e.ProcessUpdate(ctx, upd); err != nil {
+			if _, err := e.processUpdate(ctx, upd, classVertexOp, false); err != nil {
 				return consumed + 1, err
 			}
 			e.statsMu.Lock()
@@ -424,6 +502,7 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 				div = time.Duration(e.cfg.Threads)
 			}
 			tads /= div
+			total := time.Since(t0) / div
 			e.statsMu.Lock()
 			e.stats.Updates++
 			e.stats.SafeUpdates++
@@ -436,12 +515,20 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 			case classSafeADS:
 				e.stats.SafeByADS++
 			}
-			e.stats.TTotal += time.Since(t0) / div
+			e.stats.TTotal += total
 			e.statsMu.Unlock()
+			if e.cfg.Tracer != nil {
+				// Safe updates skip the search, so the event carries no
+				// nodes/matches — the interesting fields are the class
+				// (which stage proved safety) and the tiny latency.
+				d := csm.Delta{TADS: tads}
+				var r innerResult
+				e.traceUpdate(upd, v, false, &d, &r, total, false)
+			}
 			consumed++
 
 		case classUnsafe:
-			if _, err := e.ProcessUpdate(ctx, upd); err != nil {
+			if _, err := e.processUpdate(ctx, upd, classUnsafe, reclassified); err != nil {
 				return consumed + 1, err
 			}
 			e.statsMu.Lock()

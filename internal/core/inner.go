@@ -19,6 +19,11 @@ type innerResult struct {
 	// ThreadBusy[0] so Figure 10's CDF covers the whole search, not just
 	// the post-escalation part.
 	seqBusy time.Duration
+	// escalated and resplits describe this update's trip through the
+	// parallel phase, for the per-update trace event (simulate mode
+	// never escalates for real, so they stay zero there).
+	escalated bool
+	resplits  uint64
 }
 
 // findMatchesParallel is the inner-update executor (Algorithm 2) with an
@@ -34,11 +39,14 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 	var res innerResult
 	tSeq := time.Now()
 
-	// Initialization: collect the first layer of the search tree.
-	stack := e.rootBuf[:0]
-	e.algo.Roots(upd, func(s csm.State) { stack = append(stack, s) })
-	e.rootBuf = stack[:0]
-	if len(stack) == 0 {
+	// Initialization: collect the first layer of the search tree. The
+	// stack is the engine's reusable rootBuf, pushed through the
+	// long-lived pushSeq callback and popped into the engine-resident
+	// seqState scratch node — see the field docs in engine.go for why
+	// this keeps the non-escalated path allocation-free.
+	e.rootBuf = e.rootBuf[:0]
+	e.algo.Roots(upd, e.pushSeq)
+	if len(e.rootBuf) == 0 {
 		res.seqBusy = time.Since(tSeq)
 		return res
 	}
@@ -51,12 +59,12 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 
 	// Sequential phase: explicit-stack DFS under the node budget.
 	checkCounter := uint64(0)
-	for len(stack) > 0 {
+	for len(e.rootBuf) > 0 {
 		if res.nodes >= budget {
 			break
 		}
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+		e.seqState = e.rootBuf[len(e.rootBuf)-1]
+		e.rootBuf = e.rootBuf[:len(e.rootBuf)-1]
 		res.nodes++
 		checkCounter++
 		if hasDeadline && checkCounter%1024 == 0 && time.Now().After(deadline) {
@@ -64,23 +72,27 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 			res.seqBusy = time.Since(tSeq)
 			return res
 		}
-		if c, done := e.algo.Terminal(&s); done {
+		if c, done := e.algo.Terminal(&e.seqState); done {
 			res.matches += c
-			e.emitMatch(&s, c, positive)
+			e.emitMatch(&e.seqState, c, positive)
 			continue
 		}
-		e.algo.Expand(&s, func(child csm.State) { stack = append(stack, child) })
+		e.algo.Expand(&e.seqState, e.pushSeq)
 	}
 	res.seqBusy = time.Since(tSeq)
-	if len(stack) == 0 {
+	if len(e.rootBuf) == 0 {
 		return res
 	}
 
-	// Escalation: hand the remaining frontier to the worker pool.
-	par := e.runWorkers(stack, deadline, hasDeadline, positive)
+	// Escalation: hand the remaining frontier to the worker pool. Submit
+	// blocks until the epoch drains, so reusing rootBuf afterwards (next
+	// update) cannot race with workers reading the frontier.
+	par := e.runWorkers(e.rootBuf, deadline, hasDeadline, positive)
 	res.matches += par.matches
 	res.nodes += par.nodes
 	res.timeout = par.timeout
+	res.escalated = true
+	res.resplits = par.resplits
 	return res
 }
 
@@ -161,7 +173,7 @@ func (e *Engine) runWorkers(frontier []csm.State, deadline time.Time, hasDeadlin
 	}
 	e.statsMu.Unlock()
 
-	return innerResult{matches: matches.Load(), nodes: nodes.Load(), timeout: aborted.Load()}
+	return innerResult{matches: matches.Load(), nodes: nodes.Load(), timeout: aborted.Load(), escalated: true, resplits: resplits.Load()}
 }
 
 // ensurePool lazily starts the persistent worker pool: engines that never

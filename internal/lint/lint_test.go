@@ -131,6 +131,19 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
 	}
+	// The observability layer's ring and histogram mutexes carry
+	// `// guarded by` annotations; make sure the gate actually sees the
+	// package rather than silently passing on a load failure.
+	found := false
+	for _, p := range pkgs {
+		if p.Path == "paracosm/internal/obs" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("paracosm/internal/obs not among loaded packages; lockguard does not cover the observability layer")
+	}
 	for _, d := range Run(pkgs, DefaultAnalyzers()) {
 		t.Errorf("%s", d)
 	}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Analysis is the offline digest of a JSONL trace: the per-phase time
+// breakdown and the top-k straggler updates, the two questions a trace
+// dump exists to answer ("where did the time go" and "which updates").
+type Analysis struct {
+	Events       int
+	ByClass      map[string]int
+	Escalations  int
+	Timeouts     int
+	Reclassified int
+	Nodes        uint64
+	Matches      uint64
+
+	ADS, Find, Total time.Duration // summed per-phase time
+
+	// P50/P90/P99/Max are quantiles of per-update Total latency,
+	// computed exactly from the events (no histogram error).
+	P50, P90, P99, Max time.Duration
+
+	// Stragglers holds the k slowest updates by Total, slowest first.
+	Stragglers []Event
+}
+
+// Analyze digests a slice of trace events; topK bounds len(Stragglers).
+func Analyze(evs []Event, topK int) Analysis {
+	a := Analysis{Events: len(evs), ByClass: map[string]int{}}
+	if len(evs) == 0 {
+		return a
+	}
+	totals := make([]time.Duration, 0, len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		a.ByClass[ev.Class]++
+		if ev.Escalated {
+			a.Escalations++
+		}
+		if ev.Timeout {
+			a.Timeouts++
+		}
+		if ev.Reclassified {
+			a.Reclassified++
+		}
+		a.Nodes += ev.Nodes
+		a.Matches += ev.Matches
+		a.ADS += ev.ADS
+		a.Find += ev.Find
+		a.Total += ev.Total
+		totals = append(totals, ev.Total)
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	q := func(p float64) time.Duration {
+		idx := int(p*float64(len(totals))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(totals) {
+			idx = len(totals) - 1
+		}
+		return totals[idx]
+	}
+	a.P50, a.P90, a.P99 = q(0.50), q(0.90), q(0.99)
+	a.Max = totals[len(totals)-1]
+
+	if topK > 0 {
+		sorted := append([]Event(nil), evs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total > sorted[j].Total })
+		if topK > len(sorted) {
+			topK = len(sorted)
+		}
+		a.Stragglers = sorted[:topK]
+	}
+	return a
+}
+
+// Render writes the analysis as a human-readable report.
+func (a Analysis) Render(w io.Writer) {
+	fmt.Fprintf(w, "events        : %d (%d escalated, %d timed out, %d reclassified)\n",
+		a.Events, a.Escalations, a.Timeouts, a.Reclassified)
+	if a.Events == 0 {
+		return
+	}
+	classes := make([]string, 0, len(a.ByClass))
+	for c := range a.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "classes       :")
+	for _, c := range classes {
+		fmt.Fprintf(w, " %s=%d", c, a.ByClass[c])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "work          : %d search nodes, %d matches\n", a.Nodes, a.Matches)
+	other := a.Total - a.ADS - a.Find
+	if other < 0 {
+		other = 0
+	}
+	share := func(d time.Duration) float64 {
+		if a.Total <= 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(a.Total)
+	}
+	fmt.Fprintf(w, "phase time    : total %v = ADS %v (%.1f%%) + find %v (%.1f%%) + other %v (%.1f%%)\n",
+		a.Total.Round(time.Microsecond),
+		a.ADS.Round(time.Microsecond), share(a.ADS),
+		a.Find.Round(time.Microsecond), share(a.Find),
+		other.Round(time.Microsecond), share(other))
+	fmt.Fprintf(w, "update latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		a.P50.Round(time.Nanosecond), a.P90.Round(time.Nanosecond),
+		a.P99.Round(time.Nanosecond), a.Max.Round(time.Nanosecond))
+	if len(a.Stragglers) > 0 {
+		fmt.Fprintf(w, "top %d stragglers (by total latency):\n", len(a.Stragglers))
+		for i, ev := range a.Stragglers {
+			flags := ""
+			if ev.Escalated {
+				flags += " escalated"
+			}
+			if ev.Timeout {
+				flags += " TIMEOUT"
+			}
+			if ev.Resplits > 0 {
+				flags += fmt.Sprintf(" resplits=%d", ev.Resplits)
+			}
+			fmt.Fprintf(w, "  %2d. seq=%-8d %s (%d,%d) class=%-11s nodes=%-9d matches=%-7d total=%v (ads %v, find %v)%s\n",
+				i+1, ev.Seq, ev.Op, ev.U, ev.V, ev.Class, ev.Nodes, ev.Matches,
+				ev.Total.Round(time.Microsecond), ev.ADS.Round(time.Microsecond),
+				ev.Find.Round(time.Microsecond), flags)
+		}
+	}
+}

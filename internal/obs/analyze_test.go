@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAnalyze(t *testing.T) {
+	var evs []Event
+	for i := 1; i <= 100; i++ {
+		evs = append(evs, Event{
+			Seq: uint64(i), Op: "+e", U: uint32(i), V: uint32(i + 1),
+			Class: ClassUnsafe, Nodes: 10, Matches: 1,
+			ADS:   time.Microsecond,
+			Find:  time.Duration(i) * time.Microsecond,
+			Total: time.Duration(i) * time.Microsecond,
+		})
+	}
+	evs[99].Escalated = true
+	evs[99].Resplits = 4
+	evs[99].Timeout = true
+
+	a := Analyze(evs, 3)
+	if a.Events != 100 || a.Escalations != 1 || a.Timeouts != 1 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.ByClass[ClassUnsafe] != 100 {
+		t.Fatalf("ByClass = %v", a.ByClass)
+	}
+	if a.Nodes != 1000 || a.Matches != 100 {
+		t.Fatalf("nodes/matches = %d/%d", a.Nodes, a.Matches)
+	}
+	if a.P50 != 50*time.Microsecond || a.P99 != 99*time.Microsecond || a.Max != 100*time.Microsecond {
+		t.Fatalf("quantiles p50=%v p99=%v max=%v", a.P50, a.P99, a.Max)
+	}
+	if len(a.Stragglers) != 3 || a.Stragglers[0].Seq != 100 || a.Stragglers[1].Seq != 99 {
+		t.Fatalf("stragglers = %+v", a.Stragglers)
+	}
+
+	var sb strings.Builder
+	a.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"events", "unsafe=100", "top 3 stragglers", "seq=100", "TIMEOUT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil, 5)
+	if a.Events != 0 || len(a.Stragglers) != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+	var sb strings.Builder
+	a.Render(&sb) // must not panic
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket indexing must be monotone, total and consistent with the bucket
+// bounds: every value lands in the bucket whose [lower, upper] range
+// contains it.
+func TestBucketIndexBounds(t *testing.T) {
+	vals := []uint64{0, 1, 2, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxUint64}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, numBuckets)
+		}
+		if up := bucketUpper(i); v > up {
+			t.Errorf("value %d above its bucket %d upper bound %d", v, i, up)
+		}
+		if i > 0 {
+			if lo := bucketUpper(i-1) + 1; v < lo {
+				t.Errorf("value %d below its bucket %d lower bound %d", v, i, lo)
+			}
+		}
+	}
+	// Monotonicity of bounds and indices across the whole range.
+	prev := uint64(0)
+	for i := 1; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucketUpper not strictly increasing at %d: %d <= %d", i, up, prev)
+		}
+		prev = up
+	}
+	if got := bucketIndex(math.MaxUint64); got != numBuckets-1 {
+		t.Fatalf("MaxUint64 index = %d, want %d", got, numBuckets-1)
+	}
+}
+
+// Quantiles must track the exact empirical quantiles within the
+// documented sub-bucket relative error.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var sample []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of real update latency.
+		d := time.Duration(math.Exp(rng.Float64()*14) * 1000) // 1µs .. ~1.2s in ns
+		h.Observe(d)
+		sample = append(sample, d)
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		exact := sample[int(p*float64(len(sample)))-1]
+		got := h.Quantile(p)
+		rel := math.Abs(float64(got-exact)) / float64(exact)
+		if rel > 0.15 {
+			t.Errorf("p%v: histogram %v vs exact %v (rel err %.3f > 0.15)", p, got, exact, rel)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Errorf("extreme quantiles: q0=%v min=%v q1=%v max=%v", h.Quantile(0), h.Min(), h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should read as zeros")
+	}
+	h.Observe(-5 * time.Second) // clamped to 0
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 20*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got, want := h.Sum(), 30*time.Millisecond; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not zero the histogram")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Max() != 200*time.Microsecond || a.Min() != time.Microsecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 85*time.Microsecond || med > 115*time.Microsecond {
+		t.Fatalf("merged median %v far from 100µs", med)
+	}
+	// Self-merge and nil-merge are no-ops.
+	a.Merge(a)
+	a.Merge(nil)
+	if a.Count() != 200 {
+		t.Fatalf("self/nil merge changed count to %d", a.Count())
+	}
+}
+
+func TestHistogramPrometheus(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := h.WritePrometheus(&sb, "test_seconds"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="+Inf"} 2`,
+		"test_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts and le bounds must be non-decreasing.
+	lastCount, lastLE := uint64(0), math.Inf(-1)
+	for _, line := range strings.Split(out, "\n") {
+		i := strings.Index(line, `{le="`)
+		if i < 0 || strings.Contains(line, "+Inf") {
+			continue
+		}
+		rest := line[i+len(`{le="`):]
+		j := strings.Index(rest, `"} `)
+		if j < 0 {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		le, err := strconv.ParseFloat(rest[:j], 64)
+		if err != nil {
+			t.Fatalf("bad le in %q: %v", line, err)
+		}
+		c, err := strconv.ParseUint(rest[j+3:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad count in %q: %v", line, err)
+		}
+		if c < lastCount || le <= lastLE {
+			t.Errorf("non-monotonic bucket line %q", line)
+		}
+		lastCount, lastLE = c, le
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler builds the debug mux for a tracer, stdlib only:
+//
+//	/healthz         liveness probe ("ok")
+//	/metrics         Prometheus text: counters + per-phase histograms
+//	/trace           recent ring events as JSONL (?n=K limits to last K)
+//	/debug/vars      expvar (memstats, cmdline)
+//	/debug/pprof/*   runtime profiles
+//
+// The handler only reads tracer state, so it can serve while engines are
+// mid-stream.
+func Handler(t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := t.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		evs := t.Ring().Snapshot()
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(evs) {
+				evs = evs[len(evs)-n:]
+			}
+		}
+		writeEventsJSONL(w, evs)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug HTTP server. Close shuts it down and joins
+// the serving goroutine.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+	done chan struct{}
+}
+
+// StartServer listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves
+// the debug mux for t in a background goroutine until Close.
+func StartServer(addr string, t *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(t), ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		// http.ErrServerClosed is the normal Close path; anything else
+		// is reported through nothing — the probe endpoints simply stop
+		// answering, which is what health checks are for.
+		_ = s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0" listeners).
+func (s *Server) Addr() string { return s.addr.String() }
+
+// Close gracefully shuts the server down and waits for the serving
+// goroutine to exit. Safe to call more than once.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one of the tracer's per-phase latency histograms.
+type Phase int
+
+const (
+	// PhaseTotal is end-to-end per-update latency.
+	PhaseTotal Phase = iota
+	// PhaseADS is the ADS-maintenance slice of an update.
+	PhaseADS
+	// PhaseFind is the find-matches (search) slice of an update.
+	PhaseFind
+	// PhaseClassify is the per-batch stage-A classification time of the
+	// inter-update executor (one observation per batch, not per update).
+	PhaseClassify
+	numPhases
+)
+
+// String returns the phase's metric-friendly name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTotal:
+		return "total"
+	case PhaseADS:
+		return "ads"
+	case PhaseFind:
+		return "find"
+	case PhaseClassify:
+		return "classify"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Event class values (see Event.Class).
+const (
+	ClassDirect     = "direct"
+	ClassUnsafe     = "unsafe"
+	ClassSafeLabel  = "safe:label"
+	ClassSafeDegree = "safe:degree"
+	ClassSafeADS    = "safe:ads"
+	ClassVertex     = "vertex"
+)
+
+// Tracer is the aggregation point the engine emits into (attach one via
+// core.Config.Tracer). It owns a bounded trace ring of recent per-update
+// events plus fixed-memory per-phase latency histograms and a handful of
+// monotonic counters; total memory is constant regardless of stream
+// length, and the observation path performs no allocations.
+//
+// One Tracer may be shared by several engines (e.g. a MultiEngine or the
+// bench harness): every method is safe for concurrent use, and the
+// counters then aggregate across all of them.
+type Tracer struct {
+	seq   atomic.Uint64
+	ring  *Ring
+	hists [numPhases]*Histogram
+
+	updates     atomic.Uint64
+	safe        atomic.Uint64
+	unsafeN     atomic.Uint64 // "unsafe" is a keyword-adjacent builtin package name
+	escalations atomic.Uint64
+	timeouts    atomic.Uint64
+	reclass     atomic.Uint64
+	matches     atomic.Uint64
+	nodes       atomic.Uint64
+	batches     atomic.Uint64
+}
+
+// DefaultRingCap is the trace ring capacity NewTracer uses for
+// ringCap <= 0: at ~150 bytes/event it retains the last 4096 updates in
+// well under a megabyte.
+const DefaultRingCap = 4096
+
+// NewTracer returns a tracer whose ring retains the last ringCap events
+// (DefaultRingCap when ringCap <= 0).
+func NewTracer(ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	t := &Tracer{ring: NewRing(ringCap)}
+	for i := range t.hists {
+		t.hists[i] = NewHistogram()
+	}
+	return t
+}
+
+// NextSeq allocates the next update sequence number (1-based).
+func (t *Tracer) NextSeq() uint64 { return t.seq.Add(1) }
+
+// Update records one completed update: the event enters the ring and the
+// phase histograms and counters are updated. If ev.Seq is zero a
+// sequence number is assigned. Safe to call from concurrent engines.
+func (t *Tracer) Update(ev Event) {
+	if ev.Seq == 0 {
+		ev.Seq = t.NextSeq()
+	}
+	t.updates.Add(1)
+	switch ev.Class {
+	case ClassSafeLabel, ClassSafeDegree, ClassSafeADS, ClassVertex:
+		t.safe.Add(1)
+	case ClassUnsafe:
+		t.unsafeN.Add(1)
+	}
+	if ev.Escalated {
+		t.escalations.Add(1)
+	}
+	if ev.Timeout {
+		t.timeouts.Add(1)
+	}
+	if ev.Reclassified {
+		t.reclass.Add(1)
+	}
+	t.matches.Add(ev.Matches)
+	t.nodes.Add(ev.Nodes)
+	t.hists[PhaseTotal].Observe(ev.Total)
+	t.hists[PhaseADS].Observe(ev.ADS)
+	t.hists[PhaseFind].Observe(ev.Find)
+	t.ring.Append(ev)
+}
+
+// Classify records one inter-update batch's stage-A classification time.
+func (t *Tracer) Classify(d time.Duration) {
+	t.batches.Add(1)
+	t.hists[PhaseClassify].Observe(d)
+}
+
+// Ring returns the trace ring.
+func (t *Tracer) Ring() *Ring { return t.ring }
+
+// Hist returns the histogram for the given phase.
+func (t *Tracer) Hist(p Phase) *Histogram { return t.hists[p] }
+
+// Counters is a snapshot of the tracer's monotonic counters.
+type Counters struct {
+	Updates      uint64 `json:"updates"`
+	Safe         uint64 `json:"safe"`
+	Unsafe       uint64 `json:"unsafe"`
+	Escalations  uint64 `json:"escalations"`
+	Timeouts     uint64 `json:"timeouts"`
+	Reclassified uint64 `json:"reclassified"`
+	Matches      uint64 `json:"matches"`
+	Nodes        uint64 `json:"nodes"`
+	Batches      uint64 `json:"batches"`
+	TraceDropped uint64 `json:"trace_dropped"`
+}
+
+// Counters returns a snapshot of the aggregate counters.
+func (t *Tracer) Counters() Counters {
+	return Counters{
+		Updates:      t.updates.Load(),
+		Safe:         t.safe.Load(),
+		Unsafe:       t.unsafeN.Load(),
+		Escalations:  t.escalations.Load(),
+		Timeouts:     t.timeouts.Load(),
+		Reclassified: t.reclass.Load(),
+		Matches:      t.matches.Load(),
+		Nodes:        t.nodes.Load(),
+		Batches:      t.batches.Load(),
+		TraceDropped: t.ring.Dropped(),
+	}
+}
+
+// WritePrometheus emits every counter and per-phase histogram in
+// Prometheus text exposition format (the /metrics payload).
+func (t *Tracer) WritePrometheus(w io.Writer) error {
+	c := t.Counters()
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"paracosm_updates_total", "Updates processed (safe + unsafe + direct).", c.Updates},
+		{"paracosm_safe_updates_total", "Updates the classifier proved safe (incl. vertex ops).", c.Safe},
+		{"paracosm_unsafe_updates_total", "Updates that ran the full inner-parallel path after classification.", c.Unsafe},
+		{"paracosm_escalations_total", "Updates whose search escalated to the parallel phase.", c.Escalations},
+		{"paracosm_timeouts_total", "Updates cut off by the context deadline.", c.Timeouts},
+		{"paracosm_reclassified_total", "Safe-at-classification updates found unsafe at re-validation.", c.Reclassified},
+		{"paracosm_matches_total", "Incremental matches reported (positive + negative).", c.Matches},
+		{"paracosm_search_nodes_total", "Search-tree nodes visited.", c.Nodes},
+		{"paracosm_batches_total", "Inter-update executor batch rounds.", c.Batches},
+		{"paracosm_trace_dropped_total", "Trace events overwritten in the ring.", c.TraceDropped},
+	}
+	for _, m := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.v); err != nil {
+			return err
+		}
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		name := "paracosm_update_" + p.String() + "_seconds"
+		if p == PhaseClassify {
+			name = "paracosm_batch_classify_seconds"
+		}
+		if err := t.hists[p].WritePrometheus(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

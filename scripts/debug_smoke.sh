@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the observability layer: generate a tiny
+# dataset, run paracosm with the /debug server enabled, and verify that
+# /healthz, /metrics and /trace answer while the run lingers. Exits
+# non-zero on any failure; CI runs this as a gating step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${DEBUG_SMOKE_PORT:-18080}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+trap 'kill "${RUN_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== gendata =="
+go run ./cmd/gendata -out "$WORK" -scale 0.001
+
+echo "== paracosm -debug-addr $ADDR =="
+go build -o "$WORK/paracosm" ./cmd/paracosm
+QUERY="$(ls "$WORK"/query_*.txt | head -1)"
+"$WORK/paracosm" \
+    -data "$WORK/data_graph.txt" \
+    -query "$QUERY" \
+    -stream "$WORK/insertion_stream.txt" \
+    -algo GraphFlow -threads 2 -budget 30s \
+    -debug-addr "$ADDR" \
+    -trace-out "$WORK/trace.jsonl" \
+    -debug-linger 15s >"$WORK/run.out" 2>&1 &
+RUN_PID=$!
+
+echo "== waiting for /healthz =="
+ok=""
+for _ in $(seq 1 60); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        echo "paracosm exited before the debug server answered:" >&2
+        cat "$WORK/run.out" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+if [ -z "$ok" ]; then
+    echo "debug server never became healthy" >&2
+    cat "$WORK/run.out" >&2
+    exit 1
+fi
+echo "healthz: $(curl -s "http://$ADDR/healthz")"
+
+echo "== /metrics =="
+curl -s "http://$ADDR/metrics" | tee "$WORK/metrics.txt" | head -5
+grep -q '^paracosm_updates_total' "$WORK/metrics.txt"
+grep -q '^paracosm_update_total_seconds_count' "$WORK/metrics.txt"
+
+echo "== /trace =="
+curl -s "http://$ADDR/trace?n=3" | tee "$WORK/trace_head.jsonl"
+head -1 "$WORK/trace_head.jsonl" | grep -q '"seq"'
+
+kill "$RUN_PID" 2>/dev/null || true
+wait "$RUN_PID" 2>/dev/null || true
+
+echo "== trace analysis =="
+if [ -s "$WORK/trace.jsonl" ]; then
+    go run ./cmd/paracosm trace -top 3 "$WORK/trace.jsonl"
+fi
+
+echo "debug smoke OK"
