@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-json debug-smoke fuzz experiments examples clean
+.PHONY: all build lint test race bench bench-json bench-compare debug-smoke fuzz experiments examples clean
 
 all: lint test
 
@@ -31,7 +31,12 @@ bench:
 # (non-simulated) worker pool — updates/sec, escalation rate and
 # park/wakeup counters. CI runs this as a non-gating step.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr4.json
+
+# Non-gating comparison of the current baseline against the previous PR's
+# committed one (updates/sec, p99, kernel counters). Always exits 0.
+bench-compare:
+	$(GO) run ./cmd/benchcmp -old BENCH_pr3.json -new BENCH_pr4.json
 
 # End-to-end smoke of the observability layer: run paracosm with
 # -debug-addr on a generated dataset and curl /healthz, /metrics and
@@ -41,6 +46,7 @@ debug-smoke:
 
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzLabelIndex -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/stream/
 
 # Regenerate every paper table/figure plus ablations at the default

@@ -1,0 +1,72 @@
+// Command benchcmp compares two BENCH_*.json reports produced by
+// cmd/benchjson, printing updates/sec and latency deltas per (dataset,
+// algorithm) record. It is informational: the exit code is always 0, so CI
+// can surface regressions without gating on machine-dependent numbers
+// (schema 2 and 3 reports are both accepted; kernel counters print when
+// present).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paracosm/internal/bench"
+)
+
+func load(path string) (bench.BenchReport, error) {
+	var r bench.BenchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	err = json.Unmarshal(b, &r)
+	return r, err
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_pr3.json", "baseline report")
+	newPath := flag.String("new", "BENCH_pr4.json", "candidate report")
+	flag.Parse()
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(0) // non-gating by design, even on missing baselines
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(0)
+	}
+
+	byKey := make(map[string]bench.BenchRecord, len(oldRep.Records))
+	for _, r := range oldRep.Records {
+		byKey[r.Dataset+"/"+r.Algo] = r
+	}
+	fmt.Printf("%s (schema %d) -> %s (schema %d)\n", *oldPath, oldRep.Schema, *newPath, newRep.Schema)
+	for _, n := range newRep.Records {
+		key := n.Dataset + "/" + n.Algo
+		o, ok := byKey[key]
+		if !ok {
+			fmt.Printf("%-24s new record: %.1f updates/sec, p99 %.1fus\n",
+				key, n.UpdatesPerSec, n.LatencyP99US)
+			continue
+		}
+		fmt.Printf("%-24s updates/sec %9.1f -> %9.1f (%s)   p99 %7.1fus -> %7.1fus (%s)\n",
+			key, o.UpdatesPerSec, n.UpdatesPerSec, pct(o.UpdatesPerSec, n.UpdatesPerSec),
+			o.LatencyP99US, n.LatencyP99US, pct(o.LatencyP99US, n.LatencyP99US))
+		if n.Intersections > 0 {
+			fmt.Printf("%-24s   kernels: %d intersections, %.1f%% galloped, %.1f%% candidate-slice hits\n",
+				"", n.Intersections, 100*n.GallopedFraction, 100*n.CandidateHitRate)
+		}
+	}
+}

@@ -36,8 +36,17 @@ type Base struct {
 	// Filter is the ADS candidate test; nil admits all.
 	Filter FilterFunc
 
+	// KStats aggregates intersection-kernel counters across all candidate
+	// enumerations of this engine. Typed atomics: the escalated parallel
+	// phase calls Expand concurrently from pool workers.
+	KStats graph.KernelStats
+
 	infos []orderInfo // indexed by csm.EncodeOrder
 }
+
+// KernelCounters snapshots the shared intersection-kernel counters (schema 3
+// of the benchjson report).
+func (b *Base) KernelCounters() graph.KernelCounters { return b.KStats.Counters() }
 
 // Init prepares the base for (g, q): it precomputes one matching order per
 // query-edge orientation. Algorithms call it from Build.
@@ -67,6 +76,13 @@ func (b *Base) SetOrder(eo query.EdgeOrientation, ord []query.VertexID) {
 // Order returns the matching order registered for an orientation.
 func (b *Base) Order(eo query.EdgeOrientation) []query.VertexID {
 	return b.infos[csm.EncodeOrder(eo)].order
+}
+
+// Backward returns the precomputed backward-edge constraints of the order
+// registered for an orientation, indexed by depth. Callers must not modify
+// the result.
+func (b *Base) Backward(eo query.EdgeOrientation) [][]query.BackEdge {
+	return b.infos[csm.EncodeOrder(eo)].back
 }
 
 // Roots implements csm.Enumerator: one root state per query-edge
@@ -128,43 +144,86 @@ func (b *Base) Expand(s *csm.State, emit func(csm.State)) {
 // matching labels, unused, degree-feasible, and admitted by the ADS
 // filter. It is exported for algorithms implementing custom expansion
 // (NewSP's lookahead, CaLiG's shell counting).
+//
+// The enumeration is a k-way zipper over the label-sliced adjacency runs of
+// the matched backward neighbors: the run with the fewest L(u)-labeled
+// neighbors is the anchor, and a monotonic cursor per remaining run is
+// advanced with graph.AdvanceNeighbors (linear probe + gallop). All cursor
+// state lives in fixed-size stack arrays, so the enumeration itself
+// allocates nothing.
 func (b *Base) ForEachCandidate(s *csm.State, u query.VertexID, back []query.BackEdge, yield func(v graph.VertexID)) {
 	if len(back) == 0 {
 		return // only root positions have no backward neighbors
 	}
 	info := &b.infos[s.Order]
-	// Anchor on the matched backward neighbor with the smallest adjacency.
-	anchorPos := back[0].Pos
-	anchorDeg := b.G.Degree(s.Map[info.order[anchorPos]])
-	for _, be := range back[1:] {
-		if d := b.G.Degree(s.Map[info.order[be.Pos]]); d < anchorDeg {
-			anchorPos, anchorDeg = be.Pos, d
-		}
-	}
-	anchor := s.Map[info.order[anchorPos]]
 	lu := b.Q.Label(u)
 	du := b.Q.Degree(u)
-	for _, nb := range b.G.Neighbors(anchor) {
+
+	// Anchor on the backward neighbor with the fewest lu-labeled neighbors.
+	anchorIdx := 0
+	anchor := s.Map[info.order[back[0].Pos]]
+	anchorDeg := b.G.DegreeWithLabel(anchor, lu)
+	for i, be := range back[1:] {
+		w := s.Map[info.order[be.Pos]]
+		if d := b.G.DegreeWithLabel(w, lu); d < anchorDeg {
+			anchorIdx, anchor, anchorDeg = i+1, w, d
+		}
+	}
+	cand := b.G.NeighborsWithLabel(anchor, lu)
+	b.KStats.AddCandidateLookup(len(cand) < b.G.Degree(anchor))
+	if len(cand) == 0 {
+		return
+	}
+	anchorEL := back[anchorIdx].ELabel
+
+	// Cursored label runs of the remaining backward neighbors.
+	var (
+		runs    [query.MaxVertices][]graph.Neighbor
+		elabels [query.MaxVertices]graph.Label
+		pos     [query.MaxVertices]int
+	)
+	k := 0
+	for i, be := range back {
+		if i == anchorIdx {
+			continue
+		}
+		runs[k] = b.G.NeighborsWithLabel(s.Map[info.order[be.Pos]], lu)
+		elabels[k] = be.ELabel
+		k++
+	}
+	var probes, galloped uint64
+zip:
+	for _, nb := range cand {
+		if !b.IgnoreELabels && nb.ELabel != anchorEL {
+			continue
+		}
 		v := nb.ID
-		if b.G.Label(v) != lu || b.G.Degree(v) < du || s.Uses(v) {
+		if b.G.Degree(v) < du || s.Uses(v) {
 			continue
 		}
-		ok := true
-		for _, be := range back {
-			w := s.Map[info.order[be.Pos]]
-			el, exists := b.G.EdgeLabel(v, w)
-			if !exists || (!b.IgnoreELabels && el != be.ELabel) {
-				ok = false
-				break
+		for i := 0; i < k; i++ {
+			j, g := graph.AdvanceNeighbors(runs[i], pos[i], v)
+			probes++
+			if g {
+				galloped++
 			}
-		}
-		if !ok {
-			continue
+			if j == len(runs[i]) {
+				// This run is exhausted; no later candidate (candidates
+				// ascend by ID) can satisfy its backward edge either.
+				break zip
+			}
+			pos[i] = j
+			if runs[i][j].ID != v || (!b.IgnoreELabels && runs[i][j].ELabel != elabels[i]) {
+				continue zip
+			}
 		}
 		if b.Filter != nil && !b.Filter(u, v) {
 			continue
 		}
 		yield(v)
+	}
+	if k > 0 {
+		b.KStats.AddIntersection(probes, galloped)
 	}
 }
 

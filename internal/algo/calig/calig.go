@@ -196,16 +196,61 @@ func (a *CaLiG) countShells(s *csm.State) uint64 {
 	k := len(ord) - int(s.Depth)
 	cands := make([][]graph.VertexID, 0, k)
 	for pos := int(s.Depth); pos < len(ord); pos++ {
-		var c []graph.VertexID
-		a.ForEachCandidate(s, ord[pos], back[pos], func(v graph.VertexID) {
-			c = append(c, v)
-		})
+		c := a.shellCandidates(s, ord, ord[pos], back[pos])
 		if len(c) == 0 {
 			return 0
 		}
 		cands = append(cands, c)
 	}
 	return countInjective(cands)
+}
+
+// shellCandidates materializes the candidate set of shell vertex u. Every
+// query neighbor of a shell is a kernel vertex, matched before countDepth,
+// so the set is the intersection of the L(u)-labeled adjacency runs of the
+// matched neighbors — folded smallest-run-first through one buffer with the
+// shared pairwise kernels (graph.IntersectIDsNeighbors supports the
+// in-place fold) — then filtered by degree, injectivity and the lighting
+// index. CaLiG ignores edge labels, so ID intersection is exact here.
+func (a *CaLiG) shellCandidates(s *csm.State, ord []query.VertexID, u query.VertexID, back []query.BackEdge) []graph.VertexID {
+	lu := a.Q.Label(u)
+	du := a.Q.Degree(u)
+	var runs [query.MaxVertices][]graph.Neighbor
+	k := 0
+	for _, be := range back {
+		w := s.Map[ord[be.Pos]]
+		runs[k] = a.G.NeighborsWithLabel(w, lu)
+		a.KStats.AddCandidateLookup(len(runs[k]) < a.G.Degree(w))
+		k++
+	}
+	if k == 0 {
+		return nil // unreachable: matching orders are connected
+	}
+	// Smallest run first so the working set shrinks fastest.
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && len(runs[j]) < len(runs[j-1]); j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+	out := make([]graph.VertexID, 0, len(runs[0]))
+	for i := range runs[0] {
+		out = append(out, runs[0][i].ID)
+	}
+	for i := 1; i < k && len(out) > 0; i++ {
+		out = graph.IntersectIDsNeighbors(out[:0], out, runs[i], &a.KStats)
+	}
+	w := 0
+	for _, v := range out {
+		if a.G.Degree(v) < du || s.Uses(v) {
+			continue
+		}
+		if a.Filter != nil && !a.Filter(u, v) {
+			continue
+		}
+		out[w] = v
+		w++
+	}
+	return out[:w]
 }
 
 // countInjective counts systems of distinct representatives of the

@@ -47,11 +47,12 @@ func (ix *lig) compute(u query.VertexID, v graph.VertexID) bool {
 		return false
 	}
 	for _, uq := range ix.q.Neighbors(u) {
-		lu := ix.q.Label(uq.ID)
 		du := ix.q.Degree(uq.ID)
+		// Support requires a neighbor carrying uq's label: scan only that
+		// label run of v's adjacency.
 		found := false
-		for _, nb := range ix.g.Neighbors(v) {
-			if ix.g.Label(nb.ID) == lu && ix.g.Degree(nb.ID) >= du {
+		for _, nb := range ix.g.NeighborsWithLabel(v, ix.q.Label(uq.ID)) {
+			if ix.g.Degree(nb.ID) >= du {
 				found = true
 				break
 			}
@@ -159,17 +160,37 @@ func (h hview) neighbors(v graph.VertexID, yield func(graph.VertexID)) {
 	}
 }
 
+// neighborsWithLabel is the label-sliced variant of neighbors: it yields
+// only data neighbors of v carrying vertex label l, using the graph's label
+// run and applying the toggled edge on top.
+func (h hview) neighborsWithLabel(v graph.VertexID, l graph.Label, yield func(graph.VertexID)) {
+	other := graph.NoVertex
+	if v == h.x {
+		other = h.y
+	} else if v == h.y {
+		other = h.x
+	}
+	for _, nb := range h.g.NeighborsWithLabel(v, l) {
+		if !h.add && nb.ID == other {
+			continue // edge pretended deleted
+		}
+		yield(nb.ID)
+	}
+	if h.add && other != graph.NoVertex && h.g.Label(other) == l {
+		yield(other)
+	}
+}
+
 // computeHypo evaluates lit(u,v) against the hypothetical view.
 func (ix *lig) computeHypo(h hview, u query.VertexID, v graph.VertexID) bool {
 	if !ix.g.Alive(v) || ix.g.Label(v) != ix.q.Label(u) || h.degree(v) < ix.q.Degree(u) {
 		return false
 	}
 	for _, uq := range ix.q.Neighbors(u) {
-		lu := ix.q.Label(uq.ID)
 		du := ix.q.Degree(uq.ID)
 		found := false
-		h.neighbors(v, func(w graph.VertexID) {
-			if !found && ix.g.Label(w) == lu && h.degree(w) >= du {
+		h.neighborsWithLabel(v, ix.q.Label(uq.ID), func(w graph.VertexID) {
+			if !found && h.degree(w) >= du {
 				found = true
 			}
 		})

@@ -129,8 +129,11 @@ func (ix *Index) computeCell(u query.VertexID, v graph.VertexID, tab [][]bool, d
 		return false
 	}
 	for _, dep := range deps {
+		// A supporting entry tab[dep.ID][w] can only hold when w carries
+		// dep's query label (static is a conjunct of every DP cell), so the
+		// scan is confined to that label run of v's adjacency.
 		found := false
-		for _, nb := range ix.g.Neighbors(v) {
+		for _, nb := range ix.g.NeighborsWithLabel(v, ix.q.Label(dep.ID)) {
 			if !ix.ignoreELabels && nb.ELabel != dep.ELabel {
 				continue
 			}
@@ -237,7 +240,10 @@ func (ix *Index) propagate(x, y graph.VertexID) {
 			affected = ix.sk.Parents[c.u]
 		}
 		for _, dep := range affected {
-			for _, nb := range ix.g.Neighbors(c.v) {
+			// Cells (dep.ID, w) where w's label differs from dep's query
+			// label are identically false (static fails) and can never
+			// change, so only v's matching label run needs re-evaluation.
+			for _, nb := range ix.g.NeighborsWithLabel(c.v, ix.q.Label(dep.ID)) {
 				push(cell{dep.ID, nb.ID, c.which})
 			}
 		}

@@ -118,32 +118,53 @@ func (a *IncIsoMatch) Expand(s *csm.State, emit func(csm.State)) {
 	if len(back) == 0 {
 		return
 	}
-	anchorPos := back[0].Pos
-	anchorDeg := a.g.Degree(s.Map[a.order[anchorPos]])
-	for _, be := range back[1:] {
-		if d := a.g.Degree(s.Map[a.order[be.Pos]]); d < anchorDeg {
-			anchorPos, anchorDeg = be.Pos, d
-		}
-	}
-	anchor := s.Map[a.order[anchorPos]]
 	lu := a.q.Label(u)
 	du := a.q.Degree(u)
-	for _, nb := range a.g.Neighbors(anchor) {
+	// Anchor on the backward neighbor with the fewest lu-labeled neighbors
+	// and zipper the remaining label runs with monotonic cursors, exactly
+	// like algobase.ForEachCandidate.
+	anchorIdx := 0
+	anchor := s.Map[a.order[back[0].Pos]]
+	anchorDeg := a.g.DegreeWithLabel(anchor, lu)
+	for i, be := range back[1:] {
+		w := s.Map[a.order[be.Pos]]
+		if d := a.g.DegreeWithLabel(w, lu); d < anchorDeg {
+			anchorIdx, anchor, anchorDeg = i+1, w, d
+		}
+	}
+	anchorEL := back[anchorIdx].ELabel
+	var (
+		runs    [query.MaxVertices][]graph.Neighbor
+		elabels [query.MaxVertices]graph.Label
+		pos     [query.MaxVertices]int
+	)
+	k := 0
+	for i, be := range back {
+		if i == anchorIdx {
+			continue
+		}
+		runs[k] = a.g.NeighborsWithLabel(s.Map[a.order[be.Pos]], lu)
+		elabels[k] = be.ELabel
+		k++
+	}
+zip:
+	for _, nb := range a.g.NeighborsWithLabel(anchor, lu) {
+		if nb.ELabel != anchorEL {
+			continue
+		}
 		v := nb.ID
-		if a.g.Label(v) != lu || a.g.Degree(v) < du || s.Uses(v) {
+		if a.g.Degree(v) < du || s.Uses(v) {
 			continue
 		}
-		ok := true
-		for _, be := range back {
-			w := s.Map[a.order[be.Pos]]
-			el, exists := a.g.EdgeLabel(v, w)
-			if !exists || el != be.ELabel {
-				ok = false
-				break
+		for i := 0; i < k; i++ {
+			j, _ := graph.AdvanceNeighbors(runs[i], pos[i], v)
+			if j == len(runs[i]) {
+				break zip
 			}
-		}
-		if !ok {
-			continue
+			pos[i] = j
+			if runs[i][j].ID != v || runs[i][j].ELabel != elabels[i] {
+				continue zip
+			}
 		}
 		child := *s
 		child.Set(u, v)

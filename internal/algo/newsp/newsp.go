@@ -54,7 +54,7 @@ func (a *NewSP) Expand(s *csm.State, emit func(csm.State)) {
 		return
 	}
 	u := ord[s.Depth]
-	back := a.Q.BackwardNeighbors(ord)[s.Depth]
+	back := a.Backward(csm.DecodeOrder(s.Order))[s.Depth]
 	a.ForEachCandidate(s, u, back, func(v graph.VertexID) {
 		child := *s
 		child.Set(u, v)
@@ -81,43 +81,70 @@ func (a *NewSP) lookaheadOK(s *csm.State, u query.VertexID) bool {
 
 // hasCandidate reports whether C(w, s) is non-empty: some data vertex with
 // w's label, sufficient degree, unused, and connected with matching edge
-// labels to every matched query neighbor of w.
+// labels to every matched query neighbor of w. Like ForEachCandidate it is
+// a k-way zipper over the L(w)-labeled adjacency runs of the matched
+// neighbors, with all cursor state in fixed stack arrays (zero alloc — the
+// lookahead runs on the non-escalated path too).
 func (a *NewSP) hasCandidate(s *csm.State, w query.VertexID) bool {
-	// Anchor on the matched neighbor with the smallest adjacency list.
-	var anchor graph.VertexID = graph.NoVertex
-	anchorDeg := 0
+	lw := a.Q.Label(w)
+	var (
+		runs    [query.MaxVertices][]graph.Neighbor
+		elabels [query.MaxVertices]graph.Label
+		pos     [query.MaxVertices]int
+	)
+	k := 0
 	for _, nb := range a.Q.Neighbors(w) {
 		if m := s.Matched(nb.ID); m != graph.NoVertex {
-			if d := a.G.Degree(m); anchor == graph.NoVertex || d < anchorDeg {
-				anchor, anchorDeg = m, d
-			}
+			runs[k] = a.G.NeighborsWithLabel(m, lw)
+			elabels[k] = nb.ELabel
+			k++
 		}
 	}
-	if anchor == graph.NoVertex {
+	if k == 0 {
 		return true // no constraint reachable yet
 	}
-	lw := a.Q.Label(w)
-	dw := a.Q.Degree(w)
-	for _, nb := range a.G.Neighbors(anchor) {
-		v := nb.ID
-		if a.G.Label(v) != lw || a.G.Degree(v) < dw || s.Uses(v) {
-			continue
-		}
-		ok := true
-		for _, qn := range a.Q.Neighbors(w) {
-			m := s.Matched(qn.ID)
-			if m == graph.NoVertex {
-				continue
-			}
-			el, exists := a.G.EdgeLabel(v, m)
-			if !exists || (!a.IgnoreELabels && el != qn.ELabel) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
+	// Anchor on the smallest run.
+	ai := 0
+	for i := 1; i < k; i++ {
+		if len(runs[i]) < len(runs[ai]) {
+			ai = i
 		}
 	}
-	return false
+	cand := runs[ai]
+	anchorEL := elabels[ai]
+	runs[ai], elabels[ai] = runs[k-1], elabels[k-1]
+	k--
+	dw := a.Q.Degree(w)
+	var probes, galloped uint64
+	found := false
+zip:
+	for _, nb := range cand {
+		if !a.IgnoreELabels && nb.ELabel != anchorEL {
+			continue
+		}
+		v := nb.ID
+		if a.G.Degree(v) < dw || s.Uses(v) {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			j, g := graph.AdvanceNeighbors(runs[i], pos[i], v)
+			probes++
+			if g {
+				galloped++
+			}
+			if j == len(runs[i]) {
+				break zip
+			}
+			pos[i] = j
+			if runs[i][j].ID != v || (!a.IgnoreELabels && runs[i][j].ELabel != elabels[i]) {
+				continue zip
+			}
+		}
+		found = true
+		break
+	}
+	if k > 0 {
+		a.KStats.AddIntersection(probes, galloped)
+	}
+	return found
 }

@@ -158,8 +158,8 @@ func (a *SJTree) forEachEdgeEmbedding(e query.Edge, yield func(x, y graph.Vertex
 		if !a.g.Alive(x) {
 			continue
 		}
-		for _, nb := range a.g.Neighbors(x) {
-			if nb.ELabel != e.ELabel || a.g.Label(nb.ID) != lv {
+		for _, nb := range a.g.NeighborsWithLabel(x, lv) {
+			if nb.ELabel != e.ELabel {
 				continue
 			}
 			yield(x, nb.ID)
@@ -179,18 +179,16 @@ func (a *SJTree) extend(as *assignment, i int, yield func(assignment)) {
 			yield(*as)
 		}
 	case mu != graph.NoVertex:
-		lv := a.q.Label(e.V)
-		for _, nb := range a.g.Neighbors(mu) {
-			if nb.ELabel == e.ELabel && a.g.Label(nb.ID) == lv && !as.uses(nb.ID) {
+		for _, nb := range a.g.NeighborsWithLabel(mu, a.q.Label(e.V)) {
+			if nb.ELabel == e.ELabel && !as.uses(nb.ID) {
 				res := *as
 				res[e.V] = nb.ID
 				yield(res)
 			}
 		}
 	case mv != graph.NoVertex:
-		lu := a.q.Label(e.U)
-		for _, nb := range a.g.Neighbors(mv) {
-			if nb.ELabel == e.ELabel && a.g.Label(nb.ID) == lu && !as.uses(nb.ID) {
+		for _, nb := range a.g.NeighborsWithLabel(mv, a.q.Label(e.U)) {
+			if nb.ELabel == e.ELabel && !as.uses(nb.ID) {
 				res := *as
 				res[e.U] = nb.ID
 				yield(res)

@@ -19,6 +19,7 @@ import (
 	"paracosm/internal/core"
 	"paracosm/internal/csm"
 	"paracosm/internal/dataset"
+	"paracosm/internal/graph"
 	"paracosm/internal/obs"
 	"paracosm/internal/query"
 	"paracosm/internal/stream"
@@ -160,6 +161,15 @@ type RunResult struct {
 	Elapsed time.Duration // incremental matching time (TTotal)
 	Stats   core.Stats
 	Success bool // finished within budget
+	// Kernels snapshots the engine's intersection-kernel counters when the
+	// algorithm exposes them (every algobase-derived backend does).
+	Kernels graph.KernelCounters
+}
+
+// kernelCounter is implemented by algorithms that share the intersection
+// kernels of internal/graph (algobase.Base promotes it).
+type kernelCounter interface {
+	KernelCounters() graph.KernelCounters
 }
 
 // runOne processes stream s for query q over a fresh clone of d.Graph
@@ -181,6 +191,9 @@ func (c Config) runOne(entry algo.Entry, d *dataset.Dataset, q *query.Graph, s s
 	defer cancel()
 	st, err := eng.Run(ctx, s)
 	res := RunResult{Elapsed: st.TTotal, Stats: st, Success: err == nil}
+	if kc, ok := eng.Algo().(kernelCounter); ok {
+		res.Kernels = kc.KernelCounters()
+	}
 	if err != nil && !errors.Is(err, csm.ErrDeadline) && !errors.Is(err, context.DeadlineExceeded) {
 		panic(fmt.Sprintf("bench: %s run: %v", entry.Name, err))
 	}

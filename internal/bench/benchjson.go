@@ -9,6 +9,7 @@ import (
 	"paracosm/internal/algo"
 	"paracosm/internal/core"
 	"paracosm/internal/dataset"
+	"paracosm/internal/graph"
 	"paracosm/internal/metrics"
 	"paracosm/internal/obs"
 )
@@ -36,6 +37,14 @@ type BenchRecord struct {
 	LatencyP90US float64 `json:"latency_p90_us"`
 	LatencyP99US float64 `json:"latency_p99_us"`
 	LatencyMaxUS float64 `json:"latency_max_us"`
+	// Intersection-kernel counters (schema 3), aggregated across the row's
+	// queries: kernel invocations, the fraction of cursor advances that
+	// entered the galloping phase, and the fraction of candidate-run
+	// fetches where the label partition was strictly smaller than the full
+	// adjacency (see graph.KernelStats).
+	Intersections    uint64  `json:"intersections"`
+	GallopedFraction float64 `json:"galloped_fraction"`
+	CandidateHitRate float64 `json:"candidate_hit_rate"`
 }
 
 // BenchReport is the top-level BENCH_*.json document.
@@ -72,7 +81,7 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 	}
 
 	report := BenchReport{
-		Schema:      2,
+		Schema:      3,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Threads:     threads,
@@ -96,6 +105,7 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 		// it, so the latency histogram aggregates the whole row's updates.
 		tr := obs.NewTracer(obs.DefaultRingCap)
 		var agg core.Stats
+		var kern graph.KernelCounters
 		var elapsed time.Duration
 		updates := 0
 		for _, q := range qs {
@@ -112,6 +122,7 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 			agg.Resplits += r.Stats.Resplits
 			agg.Parks += r.Stats.Parks
 			agg.Wakeups += r.Stats.Wakeups
+			kern.Add(r.Kernels)
 		}
 		lat := tr.Hist(obs.PhaseTotal)
 		report.Records = append(report.Records, BenchRecord{
@@ -131,6 +142,10 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 			LatencyP90US:   usec(lat.Quantile(0.90)),
 			LatencyP99US:   usec(lat.Quantile(0.99)),
 			LatencyMaxUS:   usec(lat.Max()),
+
+			Intersections:    kern.Intersections,
+			GallopedFraction: metrics.Fraction(kern.Galloped, kern.Probes),
+			CandidateHitRate: metrics.Fraction(kern.CandHits, kern.CandLookups),
 		})
 	}
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"paracosm/internal/graph"
 	"paracosm/internal/query"
@@ -269,12 +270,22 @@ func (d *Dataset) RandomQuery(size int) (*query.Graph, error) {
 		}
 		visit(seed)
 		cur := seed
+		ids := make([]graph.VertexID, 0, 64)
 		for steps := 0; len(orderv) < size && steps < size*60; steps++ {
 			ns := g.Neighbors(cur)
 			if len(ns) == 0 {
 				break
 			}
-			nxt := ns[d.rng.Intn(len(ns))].ID
+			// Pick the step uniformly among neighbors ranked by ascending
+			// ID, not by position in the adjacency slice: generation must be
+			// independent of the adjacency representation order, or seeded
+			// workloads silently change whenever the layout does.
+			ids = ids[:0]
+			for _, nb := range ns {
+				ids = append(ids, nb.ID)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			nxt := ids[d.rng.Intn(len(ids))]
 			visit(nxt)
 			cur = nxt
 		}

@@ -1,21 +1,30 @@
 // Package graph implements the dynamic labeled undirected graph used as the
 // data graph G in continuous subgraph matching (Definition 2.1 of the
-// ParaCOSM paper). Vertices and edges both carry labels; adjacency lists are
-// kept sorted by neighbor ID so that membership tests, insertions and
-// deletions are O(log d) + O(d) memmove, and neighbor intersection during
-// enumeration is cache friendly.
+// ParaCOSM paper). Vertices and edges both carry labels.
+//
+// Adjacency layout: each vertex's adjacency list is kept sorted by
+// (neighbor-vertex-label, neighbor ID) and partitioned by a compact
+// per-vertex offset table (segs), so the neighbors of v carrying a given
+// vertex label form one contiguous run. NeighborsWithLabel returns that run
+// as a zero-allocation sub-slice — the primitive every CSM inner loop in
+// this repository is built on — while membership tests, insertions and
+// deletions stay O(log d) + O(d) memmove. Vertex labels are immutable after
+// AddVertex, so the partition key of an adjacency entry never changes.
+// See DESIGN.md §11 for the layout, aliasing rules and kernel heuristics.
 //
 // Concurrency contract: a Graph is safe for concurrent readers. Mutations
 // must either be externally serialized, or go through the Locked* methods,
 // which acquire the per-vertex shard locks (see locks.go) and may run
-// concurrently with each other and with Locked reads. This is exactly the
-// access pattern of ParaCOSM's batch executor: classification performs
-// locked reads while safe updates are applied with locked writes.
+// concurrently with each other and with Locked reads. Both adj[v] and its
+// offset table segs[v] are mutated only while v's shard lock is held (or
+// under external serialization), so the pair is always observed
+// consistently. This is exactly the access pattern of ParaCOSM's batch
+// executor: classification performs locked reads while safe updates are
+// applied with locked writes.
 package graph
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -40,11 +49,22 @@ type Neighbor struct {
 	ELabel Label
 }
 
+// labelSeg is one entry of a vertex's label offset table: the run of
+// adjacency entries whose neighbor carries `label` starts at index `start`
+// and extends to the next segment's start (or the end of the list). The
+// table is sorted by label and contains no empty runs.
+type labelSeg struct {
+	label Label
+	start uint32
+}
+
 // Graph is a dynamic labeled undirected graph.
 type Graph struct {
-	labels  []Label      // vertex labels, indexed by VertexID
-	adj     [][]Neighbor // sorted adjacency lists
+	labels  []Label      // vertex labels, indexed by VertexID (immutable once assigned)
+	adj     [][]Neighbor // adjacency lists sorted by (neighbor label, neighbor ID)
+	segs    [][]labelSeg // per-vertex label offset tables, parallel to adj
 	alive   []bool       // false once a vertex has been deleted
+	live    int          // number of alive vertices (single-writer, like labels/adj)
 	byLabel map[Label][]VertexID
 
 	// edges is the current number of edges. It is guarded by edgeMu for
@@ -62,6 +82,7 @@ func New(n int) *Graph {
 	return &Graph{
 		labels:  make([]Label, 0, n),
 		adj:     make([][]Neighbor, 0, n),
+		segs:    make([][]labelSeg, 0, n),
 		alive:   make([]bool, 0, n),
 		byLabel: make(map[Label][]VertexID),
 	}
@@ -72,24 +93,29 @@ func (g *Graph) AddVertex(l Label) VertexID {
 	id := VertexID(len(g.labels))
 	g.labels = append(g.labels, l)
 	g.adj = append(g.adj, nil)
+	g.segs = append(g.segs, nil)
 	g.alive = append(g.alive, true)
+	g.live++
 	g.byLabel[l] = append(g.byLabel[l], id)
 	return id
 }
 
 // DeleteVertex removes an isolated vertex. It panics if the vertex still has
 // incident edges (the CSM update model only deletes isolated vertices; edge
-// deletions must come first).
+// deletions must come first). The label-index entry is swap-removed, so
+// VerticesWithLabel makes no ordering promise.
 func (g *Graph) DeleteVertex(v VertexID) {
 	if len(g.adj[v]) != 0 {
 		panic(fmt.Sprintf("graph: DeleteVertex(%d): vertex not isolated (degree %d)", v, len(g.adj[v])))
 	}
 	g.alive[v] = false
+	g.live--
 	l := g.labels[v]
 	s := g.byLabel[l]
 	for i, id := range s {
 		if id == v {
-			g.byLabel[l] = append(s[:i], s[i+1:]...)
+			s[i] = s[len(s)-1]
+			g.byLabel[l] = s[:len(s)-1]
 			break
 		}
 	}
@@ -103,6 +129,10 @@ func (g *Graph) Alive(v VertexID) bool {
 // NumVertices returns the number of vertex slots ever allocated (including
 // deleted ones); use Alive to test liveness.
 func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumLive returns the number of live (not deleted) vertices. Maintained
+// incrementally, so it is O(1).
+func (g *Graph) NumLive() int { return g.live }
 
 // NumEdges returns the current number of edges. It takes the edge-counter
 // mutex so the result is exact even while Locked* mutations are in flight.
@@ -119,20 +149,72 @@ func (g *Graph) Label(v VertexID) Label { return g.labels[v] }
 // Degree returns the current degree of v.
 func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
 
-// Neighbors returns the sorted adjacency list of v. The returned slice
-// aliases internal storage and must not be modified; it is invalidated by
-// the next mutation of v's adjacency.
+// Neighbors returns the adjacency list of v, sorted by (neighbor label,
+// neighbor ID). The returned slice aliases internal storage and must not be
+// modified; it is invalidated by the next mutation of v's adjacency.
 func (g *Graph) Neighbors(v VertexID) []Neighbor { return g.adj[v] }
 
-// VerticesWithLabel returns all live vertices carrying label l. The slice
-// aliases internal storage and must not be modified.
+// NeighborsWithLabel returns the neighbors of v whose vertex label is l, as
+// a sub-slice of v's adjacency list sorted by neighbor ID. The lookup is a
+// binary search over v's label offset table (O(log of distinct neighbor
+// labels)) and the result is a zero-allocation view: it aliases internal
+// storage, must not be modified, and is invalidated by the next mutation of
+// v's adjacency (same rules as Neighbors).
+func (g *Graph) NeighborsWithLabel(v VertexID, l Label) []Neighbor {
+	lo, hi := g.labelRun(v, l)
+	return g.adj[v][lo:hi]
+}
+
+// DegreeWithLabel returns the number of neighbors of v carrying vertex
+// label l, without materializing the slice.
+func (g *Graph) DegreeWithLabel(v VertexID, l Label) int {
+	lo, hi := g.labelRun(v, l)
+	return hi - lo
+}
+
+// labelRun returns the [lo, hi) bounds of v's adjacency run whose neighbors
+// carry vertex label l; lo == hi when v has no such neighbor.
+func (g *Graph) labelRun(v VertexID, l Label) (lo, hi int) {
+	segs := g.segs[v]
+	si := searchSegs(segs, l)
+	if si == len(segs) || segs[si].label != l {
+		return 0, 0
+	}
+	lo = int(segs[si].start)
+	if si+1 < len(segs) {
+		hi = int(segs[si+1].start)
+	} else {
+		hi = len(g.adj[v])
+	}
+	return lo, hi
+}
+
+// searchSegs returns the smallest index i with segs[i].label >= l.
+func searchSegs(segs []labelSeg, l Label) int {
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if segs[mid].label < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// VerticesWithLabel returns all live vertices carrying label l, in no
+// particular order. The slice aliases internal storage and must not be
+// modified.
 func (g *Graph) VerticesWithLabel(l Label) []VertexID { return g.byLabel[l] }
 
-// findNeighbor returns the index of u in v's adjacency list, or -1.
+// findNeighbor returns the index of u in v's adjacency list, or -1. The
+// search is confined to the run carrying u's label.
 func (g *Graph) findNeighbor(v, u VertexID) int {
+	lo, hi := g.labelRun(v, g.labels[u])
 	a := g.adj[v]
-	i := sort.Search(len(a), func(i int) bool { return a[i].ID >= u })
-	if i < len(a) && a[i].ID == u {
+	i := lo + SearchNeighbors(a[lo:hi], u)
+	if i < hi && a[i].ID == u {
 		return i
 	}
 	return -1
@@ -185,19 +267,51 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 	return true
 }
 
+// insertHalf inserts u into v's adjacency at its (label, ID) position and
+// maintains the label offset table: a new segment is created when u's label
+// is not yet present among v's neighbors, and every later segment shifts
+// right by one.
 func (g *Graph) insertHalf(v, u VertexID, l Label) bool {
+	lu := g.labels[u]
 	a := g.adj[v]
-	i := sort.Search(len(a), func(i int) bool { return a[i].ID >= u })
-	if i < len(a) && a[i].ID == u {
+	segs := g.segs[v]
+	si := searchSegs(segs, lu)
+	var lo, hi int
+	havSeg := si < len(segs) && segs[si].label == lu
+	if havSeg {
+		lo = int(segs[si].start)
+		if si+1 < len(segs) {
+			hi = int(segs[si+1].start)
+		} else {
+			hi = len(a)
+		}
+	} else if si < len(segs) {
+		lo, hi = int(segs[si].start), int(segs[si].start)
+	} else {
+		lo, hi = len(a), len(a)
+	}
+	i := lo + SearchNeighbors(a[lo:hi], u)
+	if i < hi && a[i].ID == u {
 		return false
 	}
 	a = append(a, Neighbor{})
 	copy(a[i+1:], a[i:])
 	a[i] = Neighbor{ID: u, ELabel: l}
 	g.adj[v] = a
+	if !havSeg {
+		segs = append(segs, labelSeg{})
+		copy(segs[si+1:], segs[si:])
+		segs[si] = labelSeg{label: lu, start: uint32(i)}
+		g.segs[v] = segs
+	}
+	for j := si + 1; j < len(segs); j++ {
+		segs[j].start++
+	}
 	return true
 }
 
+// removeHalf removes u from v's adjacency and maintains the label offset
+// table, dropping the segment when its run empties.
 func (g *Graph) removeHalf(v, u VertexID) bool {
 	i := g.findNeighbor(v, u)
 	if i < 0 {
@@ -205,6 +319,24 @@ func (g *Graph) removeHalf(v, u VertexID) bool {
 	}
 	a := g.adj[v]
 	g.adj[v] = append(a[:i], a[i+1:]...)
+	segs := g.segs[v]
+	lu := g.labels[u]
+	si := searchSegs(segs, lu)
+	lo := int(segs[si].start)
+	hi := len(a)
+	if si+1 < len(segs) {
+		hi = int(segs[si+1].start)
+	}
+	if hi-lo == 1 {
+		// The run emptied: drop its segment.
+		segs = append(segs[:si], segs[si+1:]...)
+		g.segs[v] = segs
+	} else {
+		si++
+	}
+	for j := si; j < len(segs); j++ {
+		segs[j].start--
+	}
 	return true
 }
 
@@ -214,7 +346,9 @@ func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		labels: append([]Label(nil), g.labels...),
 		adj:    make([][]Neighbor, len(g.adj)),
+		segs:   make([][]labelSeg, len(g.segs)),
 		alive:  append([]bool(nil), g.alive...),
+		live:   g.live,
 		//lint:ignore lockguard Clone snapshots a quiescent graph (no concurrent mutators by contract)
 		edges:   g.edges,
 		byLabel: make(map[Label][]VertexID, len(g.byLabel)),
@@ -222,24 +356,22 @@ func (g *Graph) Clone() *Graph {
 	for i, a := range g.adj {
 		c.adj[i] = append([]Neighbor(nil), a...)
 	}
+	for i, s := range g.segs {
+		c.segs[i] = append([]labelSeg(nil), s...)
+	}
 	for l, s := range g.byLabel {
 		c.byLabel[l] = append([]VertexID(nil), s...)
 	}
 	return c
 }
 
-// AvgDegree returns 2|E|/|V| over live vertices.
+// AvgDegree returns 2|E|/|V| over live vertices. O(1): the live-vertex
+// count is maintained incrementally by AddVertex/DeleteVertex.
 func (g *Graph) AvgDegree() float64 {
-	n := 0
-	for _, a := range g.alive {
-		if a {
-			n++
-		}
-	}
-	if n == 0 {
+	if g.live == 0 {
 		return 0
 	}
-	return 2 * float64(g.NumEdges()) / float64(n)
+	return 2 * float64(g.NumEdges()) / float64(g.live)
 }
 
 // MaxDegree returns the maximum degree over live vertices.

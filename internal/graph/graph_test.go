@@ -95,16 +95,73 @@ func TestEdgeLabel(t *testing.T) {
 }
 
 func TestNeighborsSorted(t *testing.T) {
-	g := New(6)
-	for i := 0; i < 6; i++ {
-		g.AddVertex(0)
+	// Mixed neighbor labels: adjacency must come back sorted by
+	// (neighbor label, neighbor ID).
+	g := New(7)
+	g.AddVertex(9)
+	for i := 1; i < 7; i++ {
+		g.AddVertex(Label(i % 3))
 	}
-	for _, v := range []VertexID{5, 2, 4, 1, 3} {
+	for _, v := range []VertexID{5, 2, 4, 1, 3, 6} {
 		g.AddEdge(0, v, 0)
 	}
 	ns := g.Neighbors(0)
-	if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID }) {
-		t.Fatalf("adjacency not sorted: %v", ns)
+	if len(ns) != 6 {
+		t.Fatalf("degree = %d, want 6", len(ns))
+	}
+	key := func(n Neighbor) uint64 { return uint64(g.Label(n.ID))<<32 | uint64(n.ID) }
+	if !sort.SliceIsSorted(ns, func(i, j int) bool { return key(ns[i]) < key(ns[j]) }) {
+		t.Fatalf("adjacency not sorted by (label, id): %v", ns)
+	}
+}
+
+func TestNeighborsWithLabel(t *testing.T) {
+	g := New(8)
+	g.AddVertex(5)
+	for i := 1; i < 8; i++ {
+		g.AddVertex(Label(i % 3))
+	}
+	for _, v := range []VertexID{7, 3, 1, 6, 2, 5, 4} {
+		g.AddEdge(0, v, Label(v))
+	}
+	for l := Label(0); l < 4; l++ {
+		var want []Neighbor
+		for _, nb := range g.Neighbors(0) {
+			if g.Label(nb.ID) == l {
+				want = append(want, nb)
+			}
+		}
+		got := g.NeighborsWithLabel(0, l)
+		if len(got) != len(want) {
+			t.Fatalf("label %d: got %v, want %v", l, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("label %d: got %v, want %v", l, got, want)
+			}
+		}
+		if d := g.DegreeWithLabel(0, l); d != len(want) {
+			t.Fatalf("DegreeWithLabel(0,%d) = %d, want %d", l, d, len(want))
+		}
+	}
+	if got := g.NeighborsWithLabel(3, 5); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("NeighborsWithLabel(3,5) = %v, want [{0 3}]", got)
+	}
+}
+
+func TestNumLiveAndAvgDegreeAfterDelete(t *testing.T) {
+	g := buildPath(t, 4)
+	if g.NumLive() != 4 {
+		t.Fatalf("NumLive = %d, want 4", g.NumLive())
+	}
+	g.RemoveEdge(0, 1)
+	g.DeleteVertex(0)
+	if g.NumLive() != 3 {
+		t.Fatalf("NumLive after delete = %d, want 3", g.NumLive())
+	}
+	// 2 edges over 3 live vertices.
+	if got, want := g.AvgDegree(), 4.0/3.0; got != want {
+		t.Fatalf("AvgDegree = %v, want %v", got, want)
 	}
 }
 
