@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-json bench-compare debug-smoke fuzz experiments examples clean
+.PHONY: all build lint test race bench bench-json bench-compare debug-smoke serve-smoke fuzz experiments examples clean
 
 all: lint test
 
@@ -44,10 +44,16 @@ bench-compare:
 debug-smoke:
 	./scripts/debug_smoke.sh
 
+# End-to-end smoke of the serving layer: paracosm serve + paracosm client
+# over TCP, streamed delta totals checked against the sequential oracle.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzLabelIndex -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/stream/
+	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/server/
 
 # Regenerate every paper table/figure plus ablations at the default
 # laptop-friendly configuration (see EXPERIMENTS.md for the recorded run).

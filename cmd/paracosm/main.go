@@ -13,6 +13,13 @@
 // or curl of /trace) is analyzed offline with the trace subcommand:
 //
 //	paracosm trace -top 5 trace.jsonl
+//
+// The serve subcommand runs the streaming service (standing queries over
+// a live update stream) and client drives it:
+//
+//	paracosm serve -data data_graph.txt -addr 127.0.0.1:7400
+//	paracosm client -name q1 -algo Symbi -query query_6_000.txt \
+//	         -stream insertion_stream.txt -subscribe
 package main
 
 import (
@@ -33,9 +40,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		traceMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			traceMain(os.Args[2:])
+			return
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "client":
+			clientMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		dataPath   = flag.String("data", "", "data graph file (required)")

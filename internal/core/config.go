@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"time"
 
+	"paracosm/internal/csm"
 	"paracosm/internal/obs"
+	"paracosm/internal/stream"
 )
 
 // Config controls ParaCOSM's parallel execution.
@@ -70,7 +72,23 @@ type Config struct {
 	// allocations — the hot path is unchanged. A single Tracer may be
 	// shared across engines; its counters then aggregate.
 	Tracer *obs.Tracer
+
+	// OnDelta, if non-nil, observes every processed update's incremental
+	// result — the match-delta hook the serving layer subscribes to
+	// instead of polling Stats. It fires after the update is fully
+	// applied (safe updates report an empty ΔM; a timed-out update
+	// reports its partial lower-bound ΔM), from the goroutine driving the
+	// engine, never concurrently with itself. Like Tracer, nil (the
+	// default) costs one predictable branch per update and zero
+	// allocations; the callback must not block — a slow consumer stalls
+	// the update path.
+	OnDelta DeltaFunc
 }
+
+// DeltaFunc observes one processed update's incremental result (see
+// Config.OnDelta). timeout marks updates cut off by the context deadline,
+// whose Delta is a partial lower bound on the true ΔM.
+type DeltaFunc func(upd stream.Update, d csm.Delta, timeout bool)
 
 // Option mutates a Config.
 type Option func(*Config)
@@ -99,6 +117,9 @@ func Simulate(on bool) Option { return func(c *Config) { c.Simulate = on } }
 
 // WithTracer attaches an observability tracer (nil detaches).
 func WithTracer(t *obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
+
+// WithOnDelta attaches a match-delta callback (nil detaches).
+func WithOnDelta(f DeltaFunc) Option { return func(c *Config) { c.OnDelta = f } }
 
 func defaultConfig() Config {
 	return Config{

@@ -210,6 +210,11 @@ func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classi
 		}
 		e.traceUpdate(upd, cl, reclassified, &d, &r, total, err != nil)
 	}
+	if e.cfg.OnDelta != nil {
+		// Fires only after the update is fully applied: mutation errors
+		// returned above never reach here, timeouts do (partial ΔM).
+		e.cfg.OnDelta(upd, d, err != nil)
+	}
 	return d, err
 }
 
@@ -524,6 +529,12 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 				d := csm.Delta{TADS: tads}
 				var r innerResult
 				e.traceUpdate(upd, v, false, &d, &r, total, false)
+			}
+			if e.cfg.OnDelta != nil {
+				// Safe updates carry an empty ΔM by construction; the
+				// callback still fires so subscribers observe stream
+				// progress (e.g. the serving layer's flush barrier).
+				e.cfg.OnDelta(upd, csm.Delta{TADS: tads}, false)
 			}
 			consumed++
 

@@ -19,11 +19,35 @@ import (
 //
 // Each registered query owns an engine and a private copy of the data
 // graph, so queries share nothing and never contend; the stream is
-// broadcast. Registration happens before Init; results are queried per
-// registered query.
+// broadcast. Two operating modes coexist:
+//
+//   - Batch: Register every query up front, Init, then Run the whole
+//     stream once (the CLI / bench path).
+//
+//   - Serving: Init (possibly with zero queries), then interleave
+//     ProcessBatch with RegisterLive/Deregister as long-lived clients
+//     come and go (the internal/server path). Init retains a private
+//     clone of the data graph that ProcessBatch keeps current, so a
+//     query registered mid-stream starts from the exact post-batch
+//     state.
+//
+// All exported methods are safe for concurrent use; Run and ProcessBatch
+// hold the engine lock for their whole duration, so registration changes
+// serialize with stream processing at batch granularity.
 type MultiEngine struct {
-	cfg     Config
-	queries []*multiQuery
+	cfg Config
+
+	// OnDelta, if non-nil, observes every processed update's incremental
+	// result for every registered query — the fan-in point the serving
+	// layer subscribes to. Set it before Init (or before the RegisterLive
+	// that should observe it); per-query invocations are serialized, but
+	// different queries invoke it concurrently during Run/ProcessBatch,
+	// so the callback must be safe for concurrent use.
+	OnDelta func(query string, upd stream.Update, d csm.Delta, timeout bool)
+
+	mu      sync.Mutex
+	queries []*multiQuery // guarded by mu
+	base    *graph.Graph  // guarded by mu — current stream state, for RegisterLive clones
 }
 
 type multiQuery struct {
@@ -47,25 +71,103 @@ func NewMulti(opts ...Option) *MultiEngine {
 }
 
 // Register adds a continuous query under a display name. Must be called
-// before Init.
+// before Init; use RegisterLive afterwards.
 func (m *MultiEngine) Register(name string, algo csm.Algorithm, q *query.Graph) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.queries = append(m.queries, &multiQuery{name: name, algo: algo, q: q})
 }
 
 // NumQueries returns the number of registered queries.
-func (m *MultiEngine) NumQueries() int { return len(m.queries) }
+func (m *MultiEngine) NumQueries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queries)
+}
 
-// Init builds every query's engine over a private clone of g.
+// Init builds every pre-registered query's engine over a private clone of
+// g, plus one more clone retained as the base state RegisterLive clones
+// from. Zero pre-registered queries is valid (the serving mode starts
+// empty and registers live).
 func (m *MultiEngine) Init(g *graph.Graph) error {
-	if len(m.queries) == 0 {
-		return fmt.Errorf("core: no queries registered")
-	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.base = g.Clone()
 	for _, mq := range m.queries {
-		mq.g = g.Clone()
-		mq.eng = New(mq.algo)
-		mq.eng.cfg = m.cfg
-		if err := mq.eng.Init(mq.g, mq.q); err != nil {
-			return fmt.Errorf("query %q: %w", mq.name, err)
+		if err := m.initQueryLocked(mq, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initQueryLocked builds mq's engine over a private clone of g.
+func (m *MultiEngine) initQueryLocked(mq *multiQuery, g *graph.Graph) error {
+	mq.g = g.Clone()
+	mq.eng = New(mq.algo)
+	mq.eng.cfg = m.cfg
+	if m.OnDelta != nil {
+		// One closure per query, built once at registration: tags the
+		// query name onto the engine-level callback. The engine invokes
+		// it from the goroutine driving that engine, so per-query calls
+		// are serialized.
+		name := mq.name
+		mq.eng.cfg.OnDelta = func(upd stream.Update, d csm.Delta, timeout bool) {
+			m.OnDelta(name, upd, d, timeout)
+		}
+	}
+	if err := mq.eng.Init(mq.g, mq.q); err != nil {
+		return fmt.Errorf("query %q: %w", mq.name, err)
+	}
+	return nil
+}
+
+// RegisterLive adds a query after Init: its engine is built over a clone
+// of the retained base graph, i.e. the state after every batch processed
+// so far, so the query's incremental results start exactly at the
+// registration point. Names must be unique among live queries.
+func (m *MultiEngine) RegisterLive(name string, algo csm.Algorithm, q *query.Graph) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.base == nil {
+		return fmt.Errorf("core: RegisterLive before Init")
+	}
+	if m.findLocked(name) != nil {
+		return fmt.Errorf("core: query %q already registered", name)
+	}
+	mq := &multiQuery{name: name, algo: algo, q: q}
+	if err := m.initQueryLocked(mq, m.base); err != nil {
+		return err
+	}
+	m.queries = append(m.queries, mq)
+	return nil
+}
+
+// Deregister removes a query and closes its engine (joining its worker
+// pool), so the serving layer can drop a query when its owning connection
+// goes away without tearing down the engine. Idempotent: deregistering an
+// unknown name reports false and does nothing. The remaining queries are
+// untouched and processing continues normally.
+func (m *MultiEngine) Deregister(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, mq := range m.queries {
+		if mq.name == name {
+			if mq.eng != nil {
+				mq.eng.Close()
+			}
+			m.queries = append(m.queries[:i], m.queries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *MultiEngine) findLocked(name string) *multiQuery {
+	//lint:ignore lockguard *Locked helper: every caller holds m.mu
+	for _, mq := range m.queries {
+		if mq.name == name {
+			return mq
 		}
 	}
 	return nil
@@ -73,9 +175,20 @@ func (m *MultiEngine) Init(g *graph.Graph) error {
 
 // Run broadcasts the stream to every query concurrently and waits for all
 // of them. Per-query failures (e.g. deadline) are recorded and returned as
-// a combined error; successful queries keep their full results.
+// a combined error; successful queries keep their full results. Run does
+// not maintain the retained base graph — interleave ProcessBatch instead
+// when RegisterLive will be used mid-stream.
 func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.broadcastLocked(ctx, s)
+	return m.firstErrLocked()
+}
+
+// broadcastLocked fans s out to every query engine and joins them.
+func (m *MultiEngine) broadcastLocked(ctx context.Context, s stream.Stream) {
 	var wg sync.WaitGroup
+	//lint:ignore lockguard *Locked helper: every caller holds m.mu
 	for _, mq := range m.queries {
 		wg.Add(1)
 		go func(mq *multiQuery) {
@@ -84,18 +197,67 @@ func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
 		}(mq)
 	}
 	wg.Wait()
-	var firstErr error
+}
+
+func (m *MultiEngine) firstErrLocked() error {
+	//lint:ignore lockguard *Locked helper: every caller holds m.mu
 	for _, mq := range m.queries {
-		if mq.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("query %q: %w", mq.name, mq.err)
+		if mq.err != nil {
+			return fmt.Errorf("query %q: %w", mq.name, mq.err)
 		}
 	}
-	return firstErr
+	return nil
+}
+
+// ProcessBatch is the serving-mode ingestion step: it validates batch
+// against the retained base graph, broadcasts the valid updates to every
+// registered query concurrently (each running its inter-update classifier
+// path) and leaves the base at the post-batch state for later
+// RegisterLive calls.
+//
+// Updates that do not apply cleanly against the current state (duplicate
+// edge, missing edge, dead vertex) are filtered out before dispatch —
+// applied counts the updates that went through, len(batch)-applied were
+// rejected. Filtering keeps every per-query graph in lockstep: a
+// malformed update from one client cannot desynchronize the engines.
+//
+// ProcessBatch is intended to run without a context deadline (the serving
+// layer bounds work by batch size instead). If ctx does carry a deadline
+// and an engine times out mid-batch, that engine's graph lags the base
+// and the MultiEngine should be discarded.
+func (m *MultiEngine) ProcessBatch(ctx context.Context, batch stream.Stream) (applied int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.base == nil {
+		return 0, fmt.Errorf("core: ProcessBatch before Init")
+	}
+	// Validation doubles as the base-graph apply: an update is valid iff
+	// it applies cleanly to the current state, and validity of update i
+	// depends on updates < i being applied. The engines' clones hold the
+	// identical pre-batch state, so the valid sequence applies cleanly
+	// there too.
+	valid := batch[:0:0]
+	for _, upd := range batch {
+		if upd.Apply(m.base) == nil {
+			valid = append(valid, upd)
+		}
+	}
+	if len(valid) == 0 {
+		return 0, nil
+	}
+	m.broadcastLocked(ctx, valid)
+	err = m.firstErrLocked()
+	for _, mq := range m.queries {
+		mq.err = nil
+	}
+	return len(valid), err
 }
 
 // Close releases every per-query engine's worker pool (see Engine.Close).
 // Idempotent; the engines stay usable afterwards.
 func (m *MultiEngine) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, mq := range m.queries {
 		if mq.eng != nil {
 			mq.eng.Close()
@@ -105,6 +267,8 @@ func (m *MultiEngine) Close() {
 
 // Stats returns the per-query statistics, keyed by registration name.
 func (m *MultiEngine) Stats() map[string]Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[string]Stats, len(m.queries))
 	for _, mq := range m.queries {
 		if mq.eng != nil {
@@ -114,13 +278,25 @@ func (m *MultiEngine) Stats() map[string]Stats {
 	return out
 }
 
+// QueryNames returns the live query names in registration order.
+func (m *MultiEngine) QueryNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.queries))
+	for i, mq := range m.queries {
+		out[i] = mq.name
+	}
+	return out
+}
+
 // Engine returns the per-query engine (e.g. to attach an OnMatch
 // callback), or nil if the name is unknown. Must be called after Init.
+// The pointer is invalidated by Deregister of the same name.
 func (m *MultiEngine) Engine(name string) *Engine {
-	for _, mq := range m.queries {
-		if mq.name == name {
-			return mq.eng
-		}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mq := m.findLocked(name); mq != nil {
+		return mq.eng
 	}
 	return nil
 }

@@ -246,13 +246,14 @@ func (a *allocProbeAlgo) Roots(_ stream.Update, emit func(csm.State)) {
 func (a *allocProbeAlgo) Expand(*csm.State, func(csm.State)) {}
 func (a *allocProbeAlgo) Terminal(*csm.State) (uint64, bool) { return 1, true }
 
-func allocsPerUpdate(t *testing.T, tr *obs.Tracer) float64 {
+func allocsPerUpdate(t *testing.T, opts ...Option) float64 {
 	t.Helper()
 	g := graph.New(0)
 	for i := 0; i < 4; i++ {
 		g.AddVertex(0)
 	}
-	eng := New(&allocProbeAlgo{roots: 4}, Threads(1), InterUpdate(false), WithTracer(tr))
+	opts = append([]Option{Threads(1), InterUpdate(false)}, opts...)
+	eng := New(&allocProbeAlgo{roots: 4}, opts...)
 	defer eng.Close()
 	q, err := query.New([]graph.Label{0, 0, 0})
 	if err != nil {
@@ -292,14 +293,27 @@ func allocsPerUpdate(t *testing.T, tr *obs.Tracer) float64 {
 // observability layer: with no tracer configured ProcessUpdate performs
 // zero allocations per update, and even an attached tracer adds none
 // (events are stack-built, the ring is preallocated, histogram memory is
-// fixed).
+// fixed). The nil-callback cases also lock in the match-delta hook's
+// contract: an unset OnDelta costs one branch and no allocations, and
+// even a set callback (stack-passed value args, closure built once)
+// stays allocation-free.
 func TestProcessUpdateAllocations(t *testing.T) {
-	nilAllocs := allocsPerUpdate(t, nil)
-	tracedAllocs := allocsPerUpdate(t, obs.NewTracer(64))
+	nilAllocs := allocsPerUpdate(t)
+	tracedAllocs := allocsPerUpdate(t, WithTracer(obs.NewTracer(64)))
+	var deltaUpdates uint64
+	deltaAllocs := allocsPerUpdate(t, WithOnDelta(func(upd stream.Update, d csm.Delta, timeout bool) {
+		deltaUpdates += d.Positive + d.Negative + 1
+	}))
 	if nilAllocs != 0 {
 		t.Errorf("nil-tracer path allocates %.2f per update, want 0", nilAllocs)
 	}
 	if tracedAllocs != 0 {
 		t.Errorf("traced path allocates %.2f per update, want 0", tracedAllocs)
+	}
+	if deltaAllocs != 0 {
+		t.Errorf("OnDelta path allocates %.2f per update, want 0", deltaAllocs)
+	}
+	if deltaUpdates == 0 {
+		t.Error("OnDelta callback never fired")
 	}
 }

@@ -131,18 +131,21 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
 	}
-	// The observability layer's ring and histogram mutexes carry
-	// `// guarded by` annotations; make sure the gate actually sees the
-	// package rather than silently passing on a load failure.
-	found := false
-	for _, p := range pkgs {
-		if p.Path == "paracosm/internal/obs" {
-			found = true
-			break
+	// The observability layer's ring/histogram mutexes and the serving
+	// layer's per-connection goroutines carry `// guarded by` annotations
+	// and join-via-Close spawns; make sure the gate actually sees both
+	// packages rather than silently passing on a load failure.
+	for _, path := range []string{"paracosm/internal/obs", "paracosm/internal/server"} {
+		found := false
+		for _, p := range pkgs {
+			if p.Path == path {
+				found = true
+				break
+			}
 		}
-	}
-	if !found {
-		t.Error("paracosm/internal/obs not among loaded packages; lockguard does not cover the observability layer")
+		if !found {
+			t.Errorf("%s not among loaded packages; the analyzers do not cover it", path)
+		}
 	}
 	for _, d := range Run(pkgs, DefaultAnalyzers()) {
 		t.Errorf("%s", d)

@@ -1,0 +1,61 @@
+package goroutineleakfix
+
+import (
+	"net"
+	"sync"
+)
+
+// The serving-layer shape: an accept loop that spawns two goroutines per
+// connection (frame reader, frame writer), all joined through a single
+// WaitGroup that Close waits on. The spawner (acceptLoop) Add-s before
+// each go statement and every spawned method defers Done — the analyzer
+// must license method spawns whose join evidence lives in the method
+// body, with the Add in the spawner.
+
+type srv struct {
+	wg sync.WaitGroup
+	ln net.Listener
+}
+
+func (s *srv) readConn(c net.Conn) {
+	defer s.wg.Done()
+	_ = c
+}
+
+func (s *srv) writeConn(c net.Conn) {
+	defer s.wg.Done()
+	_ = c
+}
+
+// pollConn has no Done/send/close: a per-connection daemon nobody joins.
+func (s *srv) pollConn(c net.Conn) {
+	for {
+		_ = c
+	}
+}
+
+func (s *srv) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(2)
+		go s.readConn(c)  // ok: defers s.wg.Done; Close joins via Wait
+		go s.writeConn(c) // ok: defers s.wg.Done; Close joins via Wait
+		go s.pollConn(c)  // want goroutineleak
+	}
+}
+
+func startSrv(ln net.Listener) *srv {
+	s := &srv{ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop() // ok: defers s.wg.Done; Close joins via Wait
+	return s
+}
+
+func (s *srv) Close() {
+	_ = s.ln.Close()
+	s.wg.Wait()
+}

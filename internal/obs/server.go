@@ -4,12 +4,18 @@ import (
 	"context"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"time"
 )
+
+// MetricsFunc appends extra Prometheus text exposition lines to the
+// /metrics payload — how subsystems outside the tracer (e.g. the serving
+// layer's connection/queue gauges) join the same scrape endpoint.
+type MetricsFunc func(w io.Writer) error
 
 // Handler builds the debug mux for a tracer, stdlib only:
 //
@@ -20,8 +26,9 @@ import (
 //	/debug/pprof/*   runtime profiles
 //
 // The handler only reads tracer state, so it can serve while engines are
-// mid-stream.
-func Handler(t *Tracer) http.Handler {
+// mid-stream. Any extra MetricsFuncs are appended to the /metrics payload
+// after the tracer's own series.
+func Handler(t *Tracer, extra ...MetricsFunc) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -32,6 +39,11 @@ func Handler(t *Tracer) http.Handler {
 		if err := t.WritePrometheus(w); err != nil {
 			// Headers are gone; all we can do is drop the connection.
 			return
+		}
+		for _, f := range extra {
+			if err := f(w); err != nil {
+				return
+			}
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -67,14 +79,15 @@ type Server struct {
 }
 
 // StartServer listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves
-// the debug mux for t in a background goroutine until Close.
-func StartServer(addr string, t *Tracer) (*Server, error) {
+// the debug mux for t in a background goroutine until Close. Extra
+// MetricsFuncs extend the /metrics payload (see Handler).
+func StartServer(addr string, t *Tracer, extra ...MetricsFunc) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		srv:  &http.Server{Handler: Handler(t), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: Handler(t, extra...), ReadHeaderTimeout: 5 * time.Second},
 		addr: ln.Addr(),
 		done: make(chan struct{}),
 	}

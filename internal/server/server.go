@@ -1,0 +1,696 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paracosm/internal/algo"
+	"paracosm/internal/core"
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/obs"
+	"paracosm/internal/stream"
+)
+
+// Config controls a streaming CSM server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:7400", ":0").
+	Addr string
+
+	// MaxConns limits concurrently served connections; further accepts
+	// receive an error frame and are closed. Defaults to 256.
+	MaxConns int
+
+	// MaxInflight bounds the ingestion queue (in updates): the
+	// backpressure window between client readers and the ingestion
+	// loop. Defaults to 4096.
+	MaxInflight int
+
+	// Reject selects the backpressure policy when the ingestion queue
+	// is full: false (default) blocks the submitting connection's
+	// reader until space frees; true rejects the remainder of the
+	// request with a "busy" error reply carrying the accepted count.
+	Reject bool
+
+	// SubscriberQueue is the per-connection outbound queue capacity.
+	// Replies always get through (the connection's own reader blocks
+	// until there is room); match deltas overflow with drop-and-count,
+	// mirroring the obs.Ring convention, so one slow subscriber never
+	// stalls ingestion. Defaults to 256.
+	SubscriberQueue int
+
+	// BatchMax caps how many queued updates the ingestion loop folds
+	// into one MultiEngine.ProcessBatch call. Batching is opportunistic:
+	// an idle stream is flushed immediately, a busy one amortizes the
+	// per-batch classifier cost. Defaults to 256.
+	BatchMax int
+
+	// ReadTimeout is the per-frame read deadline; connections idle
+	// longer are closed (0 = no idle limit).
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds a single outbound frame write, so a stalled
+	// client cannot wedge its writer goroutine. Defaults to 10s.
+	WriteTimeout time.Duration
+
+	// MaxFrame bounds one wire frame (DefaultMaxFrame when 0).
+	MaxFrame int
+
+	// Tracer, if non-nil, receives server lifecycle events
+	// (accept/register/ingest/fanout-drop, Class "server") in its trace
+	// ring and is attached to every query engine, so /metrics and
+	// /trace cover the serving layer end to end.
+	Tracer *obs.Tracer
+
+	// Engine configures every per-query engine (threads, batch size,
+	// inter-update toggle, ...).
+	Engine []core.Option
+
+	// ingestGate, when non-nil, is received from before every
+	// ProcessBatch — a test seam that holds the ingestion loop mid-batch
+	// so queue backpressure can be exercised deterministically.
+	ingestGate chan struct{}
+}
+
+func (c *Config) normalize() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4096
+	}
+	if c.SubscriberQueue <= 0 {
+		c.SubscriberQueue = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+}
+
+// ingestMsg is one element of the ingestion queue: a single update, or a
+// flush barrier (done != nil) released once every update queued before it
+// has been processed and fanned out.
+type ingestMsg struct {
+	upd  stream.Update
+	done chan struct{}
+}
+
+// Server is a running streaming CSM service: an accept loop, two
+// goroutines per connection (frame reader, frame writer) and a single
+// ingestion loop that owns all engine mutation, all joined by Close.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	multi  *core.MultiEngine
+	tracer *obs.Tracer
+
+	ctx    context.Context // cancelled by Close: stops intake, starts drain
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	ingest chan ingestMsg
+
+	mu      sync.Mutex
+	conns   map[*conn]struct{} // guarded by mu
+	subs    map[string][]*conn // guarded by mu — query name → subscribers
+	closing bool               // guarded by mu
+
+	closeOnce sync.Once
+	closeErr  error // written inside closeOnce, read after wg.Wait
+
+	// Monotonic counters + instantaneous gauges behind WriteMetrics.
+	connsTotal    atomic.Uint64 // connections accepted
+	connsRejected atomic.Uint64 // connections refused at the limit
+	ingested      atomic.Uint64 // updates applied through ProcessBatch
+	invalid       atomic.Uint64 // updates rejected as unappliable
+	rejected      atomic.Uint64 // updates refused by the Reject policy
+	deltasTotal   atomic.Uint64 // nonzero match deltas produced
+	deltasDropped atomic.Uint64 // deltas lost to subscriber-queue overflow
+}
+
+// conn is one served connection. The reader goroutine owns queries and
+// all request handling; the writer goroutine drains out; offerDelta is
+// called by ingestion-side fan-out.
+type conn struct {
+	c      net.Conn
+	out    chan *Frame   // replies block (reader-side), deltas drop on overflow
+	closed chan struct{} // closed exactly once by close(); gates out sends
+	once   sync.Once
+
+	outMu   sync.Mutex
+	seq     uint64 // guarded by outMu — deltas enqueued to out (per-subscription Seq)
+	dropped uint64 // guarded by outMu — deltas dropped on overflow
+
+	// queries holds the query names registered by this connection;
+	// accessed only by the connection's reader goroutine (registration,
+	// deregistration, teardown all run there).
+	queries map[string]struct{}
+}
+
+func (cn *conn) close() {
+	cn.once.Do(func() {
+		close(cn.closed)
+		cn.c.Close()
+	})
+}
+
+// offerDelta enqueues a delta frame without ever blocking: the bounded
+// queue either admits it (consuming the next per-subscription sequence
+// number) or the delta is dropped and counted. Safe for concurrent use
+// by multiple per-query engine goroutines.
+func (cn *conn) offerDelta(f *Frame) bool {
+	cn.outMu.Lock()
+	defer cn.outMu.Unlock()
+	select {
+	case <-cn.closed:
+		return false
+	default:
+	}
+	f.Seq = cn.seq + 1
+	f.Dropped = cn.dropped
+	select {
+	case cn.out <- f:
+		cn.seq++
+		return true
+	default:
+		cn.dropped++
+		return false
+	}
+}
+
+// Start builds a MultiEngine over g, binds cfg.Addr and serves until
+// Close. The graph is cloned per registered query (and once for the
+// retained base state); the caller's g is not retained.
+func Start(g *graph.Graph, cfg Config) (*Server, error) {
+	cfg.normalize()
+	engOpts := cfg.Engine
+	if cfg.Tracer != nil {
+		engOpts = append(append([]core.Option(nil), engOpts...), core.WithTracer(cfg.Tracer))
+	}
+	s := &Server{
+		cfg:    cfg,
+		multi:  core.NewMulti(engOpts...),
+		tracer: cfg.Tracer,
+		ingest: make(chan ingestMsg, cfg.MaxInflight),
+		conns:  make(map[*conn]struct{}),
+		subs:   make(map[string][]*conn),
+	}
+	s.multi.OnDelta = s.fanout
+	if err := s.multi.Init(g); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.multi.Close()
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.ingestLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// NumQueries returns the number of live registered queries.
+func (s *Server) NumQueries() int { return s.multi.NumQueries() }
+
+// Close gracefully shuts the server down: stop accepting, stop intake,
+// drain updates already admitted to the ingestion queue through the
+// engines (releasing any flush barriers), close every connection, join
+// every goroutine, then release the engines. Safe to call more than
+// once; every caller blocks until shutdown completes.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		conns := make([]*conn, 0, len(s.conns))
+		for cn := range s.conns {
+			conns = append(conns, cn)
+		}
+		s.mu.Unlock()
+		s.closeErr = s.ln.Close()
+		s.cancel()
+		for _, cn := range conns {
+			cn.close()
+		}
+	})
+	s.wg.Wait()
+	s.multi.Close()
+	return s.closeErr
+}
+
+// trace appends one server lifecycle event to the tracer's ring (no-op
+// without a tracer). Server events carry Class "server" and an
+// "srv:"-prefixed op; they deliberately bypass Tracer.Update so the
+// per-update counters and latency histograms stay engine-only.
+func (s *Server) trace(op string, n uint64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Ring().Append(obs.Event{
+		Seq:     s.tracer.NextSeq(),
+		Op:      "srv:" + op,
+		Class:   "server",
+		Matches: n,
+	})
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		s.connsTotal.Add(1)
+		s.mu.Lock()
+		full := s.closing || len(s.conns) >= s.cfg.MaxConns
+		var cn *conn
+		if !full {
+			cn = &conn{
+				c:       c,
+				out:     make(chan *Frame, s.cfg.SubscriberQueue),
+				closed:  make(chan struct{}),
+				queries: make(map[string]struct{}),
+			}
+			s.conns[cn] = struct{}{}
+		}
+		s.mu.Unlock()
+		if full {
+			s.connsRejected.Add(1)
+			s.trace("reject", 1)
+			c.SetWriteDeadline(time.Now().Add(time.Second))
+			bw := bufio.NewWriter(c)
+			_ = WriteFrame(bw, &Frame{Type: TypeError, Err: "connection limit reached"})
+			_ = bw.Flush()
+			c.Close()
+			continue
+		}
+		s.trace("accept", 1)
+		s.wg.Add(2)
+		go s.readLoop(cn)
+		go s.writeLoop(cn)
+	}
+}
+
+// readLoop parses and serves one connection's requests until the
+// connection fails, idles out, or the server closes.
+func (s *Server) readLoop(cn *conn) {
+	defer s.wg.Done()
+	defer s.teardown(cn)
+	br := bufio.NewReader(cn.c)
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			cn.c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		f, err := ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		if !s.handle(cn, f) {
+			return
+		}
+	}
+}
+
+// teardown undoes a connection's footprint: subscriptions are removed,
+// queries it registered are deregistered (dropping their engines), and
+// the writer goroutine is released.
+func (s *Server) teardown(cn *conn) {
+	cn.close()
+	s.mu.Lock()
+	delete(s.conns, cn)
+	for q, subs := range s.subs {
+		s.subs[q] = removeConn(subs, cn)
+		if len(s.subs[q]) == 0 {
+			delete(s.subs, q)
+		}
+	}
+	s.mu.Unlock()
+	for name := range cn.queries {
+		// Other connections' subscriptions to this query die with it.
+		s.mu.Lock()
+		delete(s.subs, name)
+		s.mu.Unlock()
+		if s.multi.Deregister(name) {
+			s.trace("deregister", 1)
+		}
+	}
+	s.trace("disconnect", 1)
+}
+
+func removeConn(subs []*conn, cn *conn) []*conn {
+	out := subs[:0]
+	for _, c := range subs {
+		if c != cn {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// reply enqueues a response frame. Replies are never dropped: the send
+// blocks (the connection's own command processing stalls, nobody else)
+// until the writer drains room, the connection dies, or the server
+// shuts down.
+func (s *Server) reply(cn *conn, f *Frame) bool {
+	select {
+	case cn.out <- f:
+		return true
+	case <-cn.closed:
+		return false
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) replyOK(cn *conn, id uint64, accepted int) bool {
+	return s.reply(cn, &Frame{Type: TypeOK, ID: id, Accepted: accepted})
+}
+
+func (s *Server) replyErr(cn *conn, id uint64, accepted int, err error) bool {
+	return s.reply(cn, &Frame{Type: TypeError, ID: id, Accepted: accepted, Err: err.Error()})
+}
+
+// handle serves one request frame; it reports false when the connection
+// should be torn down.
+func (s *Server) handle(cn *conn, f *Frame) bool {
+	switch f.Type {
+	case TypeRegister:
+		entry, err := algo.ByName(f.Algo)
+		if err != nil {
+			return s.replyErr(cn, f.ID, 0, err)
+		}
+		if f.Query == "" {
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("empty query name"))
+		}
+		q, err := BuildQuery(f.Labels, f.Edges)
+		if err != nil {
+			return s.replyErr(cn, f.ID, 0, err)
+		}
+		if err := s.multi.RegisterLive(f.Query, entry.New(), q); err != nil {
+			return s.replyErr(cn, f.ID, 0, err)
+		}
+		cn.queries[f.Query] = struct{}{}
+		s.trace("register", 1)
+		return s.replyOK(cn, f.ID, 0)
+
+	case TypeDeregister:
+		if _, owned := cn.queries[f.Query]; !owned {
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("query %q not registered by this connection", f.Query))
+		}
+		delete(cn.queries, f.Query)
+		s.mu.Lock()
+		delete(s.subs, f.Query)
+		s.mu.Unlock()
+		s.multi.Deregister(f.Query)
+		s.trace("deregister", 1)
+		return s.replyOK(cn, f.ID, 0)
+
+	case TypeSubscribe:
+		if s.multi.Engine(f.Query) == nil {
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown query %q", f.Query))
+		}
+		s.mu.Lock()
+		already := false
+		for _, c := range s.subs[f.Query] {
+			if c == cn {
+				already = true
+			}
+		}
+		if !already {
+			s.subs[f.Query] = append(s.subs[f.Query], cn)
+		}
+		s.mu.Unlock()
+		s.trace("subscribe", 1)
+		return s.replyOK(cn, f.ID, 0)
+
+	case TypeUpdate, TypeBatch:
+		upds, err := DecodeUpdates(f.Updates)
+		if err != nil {
+			return s.replyErr(cn, f.ID, 0, err)
+		}
+		accepted, err := s.enqueue(cn, upds)
+		if err != nil {
+			return s.replyErr(cn, f.ID, accepted, err)
+		}
+		return s.replyOK(cn, f.ID, accepted)
+
+	case TypeFlush:
+		done := make(chan struct{})
+		select {
+		case s.ingest <- ingestMsg{done: done}:
+		case <-s.ctx.Done():
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("server shutting down"))
+		case <-cn.closed:
+			return false
+		}
+		select {
+		case <-done:
+			return s.replyOK(cn, f.ID, 0)
+		case <-s.ctx.Done():
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("server shutting down"))
+		case <-cn.closed:
+			return false
+		}
+
+	default:
+		return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown frame type %q", f.Type))
+	}
+}
+
+// enqueue admits updates to the ingestion queue one at a time (so
+// MaxInflight bounds updates, not frames), honoring the backpressure
+// policy: block the submitting reader, or reject the remainder.
+func (s *Server) enqueue(cn *conn, upds stream.Stream) (int, error) {
+	for i, upd := range upds {
+		m := ingestMsg{upd: upd}
+		if s.cfg.Reject {
+			select {
+			case s.ingest <- m:
+			default:
+				s.rejected.Add(uint64(len(upds) - i))
+				return i, fmt.Errorf("busy: ingestion queue full")
+			}
+			continue
+		}
+		select {
+		case s.ingest <- m:
+		case <-s.ctx.Done():
+			return i, fmt.Errorf("server shutting down")
+		case <-cn.closed:
+			return i, fmt.Errorf("connection closing")
+		}
+	}
+	return len(upds), nil
+}
+
+// ingestLoop is the single owner of engine mutation: it folds queued
+// updates into batches (up to BatchMax) and runs each through
+// MultiEngine.ProcessBatch, whose per-engine inter-update classifier
+// path applies safe updates directly. On shutdown it drains whatever
+// already made it into the queue before exiting (drain-then-close).
+func (s *Server) ingestLoop() {
+	defer s.wg.Done()
+	batch := make(stream.Stream, 0, s.cfg.BatchMax)
+	for {
+		select {
+		case m := <-s.ingest:
+			s.gather(&batch, m)
+			// Opportunistic batching: keep folding while the queue is
+			// hot, flush as soon as it runs dry.
+		drain:
+			for {
+				select {
+				case m := <-s.ingest:
+					s.gather(&batch, m)
+				default:
+					break drain
+				}
+			}
+			s.flushBatch(&batch)
+		case <-s.ctx.Done():
+			for {
+				select {
+				case m := <-s.ingest:
+					s.gather(&batch, m)
+				default:
+					s.flushBatch(&batch)
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather folds one queue element into the pending batch, flushing at
+// barriers (so the barrier's happens-after covers every prior update)
+// and at the batch cap.
+func (s *Server) gather(batch *stream.Stream, m ingestMsg) {
+	if m.done != nil {
+		s.flushBatch(batch)
+		close(m.done)
+		return
+	}
+	*batch = append(*batch, m.upd)
+	if len(*batch) >= s.cfg.BatchMax {
+		s.flushBatch(batch)
+	}
+}
+
+// flushBatch runs the pending batch through every registered query.
+// Updates that fail validation against the base graph are counted
+// invalid; engine errors are impossible here (no deadline, updates
+// pre-validated).
+func (s *Server) flushBatch(batch *stream.Stream) {
+	if len(*batch) == 0 {
+		return
+	}
+	if s.cfg.ingestGate != nil {
+		<-s.cfg.ingestGate
+	}
+	applied, _ := s.multi.ProcessBatch(context.Background(), *batch)
+	s.ingested.Add(uint64(applied))
+	s.invalid.Add(uint64(len(*batch) - applied))
+	s.trace("ingest", uint64(applied))
+	*batch = (*batch)[:0]
+}
+
+// fanout is the MultiEngine.OnDelta sink: every nonzero ΔM becomes one
+// delta frame per subscriber of that query, enqueued without blocking
+// (overflow drops and counts). Invoked concurrently by per-query engine
+// goroutines during ProcessBatch.
+func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bool) {
+	if d.Positive == 0 && d.Negative == 0 {
+		return
+	}
+	s.deltasTotal.Add(1)
+	s.mu.Lock()
+	subs := s.subs[qname]
+	s.mu.Unlock()
+	for _, cn := range subs {
+		f := &Frame{
+			Type:   TypeDelta,
+			Query:  qname,
+			Update: upd.String(),
+			Pos:    d.Positive,
+			Neg:    d.Negative,
+		}
+		if !cn.offerDelta(f) {
+			s.deltasDropped.Add(1)
+			s.trace("drop", 1)
+		}
+	}
+}
+
+// writeLoop serializes one connection's outbound frames, batching
+// flushes while the queue stays hot.
+func (s *Server) writeLoop(cn *conn) {
+	defer s.wg.Done()
+	bw := bufio.NewWriter(cn.c)
+	for {
+		select {
+		case f := <-cn.out:
+			if s.cfg.WriteTimeout > 0 {
+				cn.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			if err := WriteFrame(bw, f); err != nil {
+				cn.close()
+				return
+			}
+			if len(cn.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					cn.close()
+					return
+				}
+			}
+		case <-cn.closed:
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is the server's instantaneous /metrics view.
+type MetricsSnapshot struct {
+	Connections   int
+	Queries       int
+	Subscriptions int
+	QueueDepth    int
+	ConnsTotal    uint64
+	ConnsRejected uint64
+	Ingested      uint64
+	Invalid       uint64
+	Rejected      uint64
+	Deltas        uint64
+	DeltasDropped uint64
+}
+
+// Metrics returns a snapshot of the serving-layer gauges and counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	conns := len(s.conns)
+	subsN := 0
+	for _, subs := range s.subs {
+		subsN += len(subs)
+	}
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		Connections:   conns,
+		Queries:       s.multi.NumQueries(),
+		Subscriptions: subsN,
+		QueueDepth:    len(s.ingest),
+		ConnsTotal:    s.connsTotal.Load(),
+		ConnsRejected: s.connsRejected.Load(),
+		Ingested:      s.ingested.Load(),
+		Invalid:       s.invalid.Load(),
+		Rejected:      s.rejected.Load(),
+		Deltas:        s.deltasTotal.Load(),
+		DeltasDropped: s.deltasDropped.Load(),
+	}
+}
+
+// WriteMetrics emits the serving-layer gauges and counters in Prometheus
+// text exposition format; pass it to obs.StartServer as an extra
+// MetricsFunc to join the tracer's /metrics payload.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	m := s.Metrics()
+	series := []struct {
+		name, typ, help string
+		v               uint64
+	}{
+		{"paracosm_server_connections", "gauge", "Currently served connections.", uint64(m.Connections)},
+		{"paracosm_server_queries", "gauge", "Live registered continuous queries.", uint64(m.Queries)},
+		{"paracosm_server_subscriptions", "gauge", "Active match-delta subscriptions.", uint64(m.Subscriptions)},
+		{"paracosm_server_ingest_queue_depth", "gauge", "Updates waiting in the ingestion queue.", uint64(m.QueueDepth)},
+		{"paracosm_server_conns_total", "counter", "Connections accepted since start.", m.ConnsTotal},
+		{"paracosm_server_conns_rejected_total", "counter", "Connections refused at the connection limit.", m.ConnsRejected},
+		{"paracosm_server_updates_ingested_total", "counter", "Updates applied through the ingestion loop.", m.Ingested},
+		{"paracosm_server_updates_invalid_total", "counter", "Updates rejected as unappliable against the current graph.", m.Invalid},
+		{"paracosm_server_updates_rejected_total", "counter", "Updates refused by the reject backpressure policy.", m.Rejected},
+		{"paracosm_server_deltas_total", "counter", "Nonzero match deltas produced across all queries.", m.Deltas},
+		{"paracosm_server_deltas_dropped_total", "counter", "Match deltas dropped on subscriber-queue overflow.", m.DeltasDropped},
+	}
+	for _, sr := range series {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			sr.name, sr.help, sr.name, sr.typ, sr.name, sr.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving layer: generate a tiny dataset,
+# compute the sequential single-engine oracle totals, start `paracosm
+# serve`, drive it with `paracosm client` (register + subscribe + stream
+# + flush), and require the streamed delta totals to equal the oracle.
+# Also checks the serving-layer /metrics gauges and graceful shutdown on
+# SIGTERM. Exits non-zero on any failure; CI runs this as a gating step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SERVE_SMOKE_PORT:-17400}"
+DBG_PORT="${SERVE_SMOKE_DEBUG_PORT:-18081}"
+ADDR="127.0.0.1:${PORT}"
+DBG="127.0.0.1:${DBG_PORT}"
+WORK="$(mktemp -d)"
+trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== gendata =="
+go run ./cmd/gendata -out "$WORK" -scale 0.001
+
+echo "== build =="
+go build -o "$WORK/paracosm" ./cmd/paracosm
+QUERY="$(ls "$WORK"/query_*.txt | head -1)"
+STREAM="$WORK/insertion_stream.txt"
+
+echo "== sequential oracle =="
+"$WORK/paracosm" \
+    -data "$WORK/data_graph.txt" -query "$QUERY" -stream "$STREAM" \
+    -algo GraphFlow -threads 1 -inter=false >"$WORK/oracle.out"
+ORACLE="$(sed -n 's/^matches *: \(+[0-9]* \/ -[0-9]*\).*/\1/p' "$WORK/oracle.out")"
+echo "oracle matches: $ORACLE"
+
+echo "== serve on $ADDR =="
+"$WORK/paracosm" serve -data "$WORK/data_graph.txt" -addr "$ADDR" \
+    -threads 2 -debug-addr "$DBG" >"$WORK/serve.out" 2>&1 &
+SRV_PID=$!
+
+ok=""
+for _ in $(seq 1 60); do
+    if curl -sf "http://$DBG/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "serve exited before becoming healthy:" >&2
+        cat "$WORK/serve.out" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+if [ -z "$ok" ]; then
+    echo "serve never became healthy" >&2
+    cat "$WORK/serve.out" >&2
+    exit 1
+fi
+
+echo "== client: register, subscribe, stream, flush =="
+"$WORK/paracosm" client -addr "$ADDR" -name smoke -algo GraphFlow \
+    -query "$QUERY" -stream "$STREAM" -subscribe >"$WORK/client.out"
+cat "$WORK/client.out"
+GOT="$(sed -n 's/^matches *: \(+[0-9]* \/ -[0-9]*\).*/\1/p' "$WORK/client.out")"
+grep -q 'dropped 0' "$WORK/client.out"
+
+if [ "$GOT" != "$ORACLE" ]; then
+    echo "streamed delta totals '$GOT' != sequential oracle '$ORACLE'" >&2
+    exit 1
+fi
+echo "delta totals match the sequential oracle: $GOT"
+
+echo "== /metrics serving-layer gauges =="
+curl -s "http://$DBG/metrics" | tee "$WORK/metrics.txt" | grep '^paracosm_server_' | head
+grep -q '^paracosm_server_connections' "$WORK/metrics.txt"
+grep -q '^paracosm_server_deltas_dropped_total' "$WORK/metrics.txt"
+ING="$(sed -n 's/^paracosm_server_updates_ingested_total \([0-9][0-9]*\)$/\1/p' "$WORK/metrics.txt")"
+if [ "${ING:-0}" -le 0 ]; then
+    echo "no updates ingested per /metrics" >&2
+    exit 1
+fi
+
+echo "== graceful shutdown (SIGTERM) =="
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
+grep -q 'shutting down' "$WORK/serve.out"
+grep -q 'ingested' "$WORK/serve.out"
+
+echo "serve smoke OK"
