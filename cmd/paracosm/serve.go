@@ -139,6 +139,50 @@ func clientMain(args []string) {
 		}
 	}
 
+	// Drain deltas concurrently with streaming: a subscription busier
+	// than the client's DeltaBuffer must be consumed while updates are in
+	// flight, or the deltas overflow the buffer and are dropped
+	// client-side.
+	var frames, pos, neg, dropped uint64
+	take := func(d server.Delta) {
+		frames++
+		pos += d.Pos
+		neg += d.Neg
+		dropped = d.Dropped
+		if *verbose {
+			fmt.Printf("delta %s %q +%d -%d\n", d.Update, d.Query, d.Pos, d.Neg)
+		}
+	}
+	stop := make(chan struct{})
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			select {
+			case d, ok := <-cl.Deltas():
+				if !ok {
+					return
+				}
+				take(d)
+			case <-stop:
+				// The flush barrier guarantees every delta for the
+				// accepted updates is already buffered locally, so a
+				// final non-blocking sweep is complete.
+				for {
+					select {
+					case d, ok := <-cl.Deltas():
+						if !ok {
+							return
+						}
+						take(d)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
 	accepted := 0
 	if *streamPath != "" {
 		s := mustStream(*streamPath)
@@ -157,26 +201,10 @@ func clientMain(args []string) {
 	if err := cl.Flush(); err != nil {
 		fatal(err)
 	}
+	close(stop)
+	<-drained
 
-	// The flush barrier guarantees every delta for the accepted updates
-	// is already buffered locally, so a non-blocking drain is complete.
-	var frames, pos, neg, dropped uint64
-drain:
-	for {
-		select {
-		case d := <-cl.Deltas():
-			frames++
-			pos += d.Pos
-			neg += d.Neg
-			dropped = d.Dropped
-			if *verbose {
-				fmt.Printf("delta %s %q +%d -%d\n", d.Update, d.Query, d.Pos, d.Neg)
-			}
-		default:
-			break drain
-		}
-	}
 	fmt.Printf("accepted       : %d\n", accepted)
 	fmt.Printf("delta frames   : %d\n", frames)
-	fmt.Printf("matches        : +%d / -%d (dropped %d)\n", pos, neg, dropped)
+	fmt.Printf("matches        : +%d / -%d (dropped %d)\n", pos, neg, dropped+cl.Dropped())
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"paracosm/internal/query"
 	"paracosm/internal/stream"
@@ -41,10 +42,11 @@ type Client struct {
 	pending map[uint64]chan *Frame // guarded by mu — request id → reply slot
 	err     error                  // guarded by mu — first terminal read error
 
-	deltas chan Delta
-	quit   chan struct{} // closed by Close: unblocks waiters
-	done   chan struct{} // closed by readLoop on exit
-	once   sync.Once
+	deltas  chan Delta
+	dropped atomic.Uint64 // deltas discarded on a full Deltas buffer
+	quit    chan struct{} // closed by Close: unblocks waiters
+	done    chan struct{} // closed by readLoop on exit
+	once    sync.Once
 }
 
 // DialConfig tunes a client connection.
@@ -52,9 +54,10 @@ type DialConfig struct {
 	// MaxFrame bounds one inbound frame (DefaultMaxFrame when 0).
 	MaxFrame int
 	// DeltaBuffer is the capacity of the Deltas channel (default 1024).
-	// A subscriber that stops draining it stalls the client's read loop
-	// (and therefore its own replies) — the server side stays unharmed
-	// and starts dropping into the connection's bounded queue instead.
+	// A subscriber that stops draining it loses deltas client-side
+	// (drop-and-count, see Client.Dropped) rather than stalling the read
+	// loop — the read loop also demultiplexes replies, so blocking it on
+	// a full buffer would wedge every pending request.
 	DeltaBuffer int
 }
 
@@ -117,9 +120,12 @@ func (c *Client) readLoop() {
 			}
 			select {
 			case c.deltas <- d:
-			case <-c.quit:
-				c.fail(errors.New("client: closed"))
-				return
+			default:
+				// Drop-and-count, never block: this loop also resolves
+				// pending replies, so parking on a full Deltas buffer
+				// would wedge every outstanding request (Flush would
+				// deadlock against the very deltas it waits on).
+				c.dropped.Add(1)
 			}
 		default:
 			c.mu.Lock()
@@ -256,8 +262,9 @@ func (c *Client) SendText(text string) (accepted int, err error) {
 // Flush blocks until every update this client enqueued before the call
 // has been processed and its deltas delivered to this connection's
 // queue. Because replies and deltas share one FIFO per connection, all
-// deltas for those updates are in the Deltas buffer (or counted as
-// dropped) when Flush returns.
+// deltas for those updates are in the Deltas buffer when Flush returns
+// — or counted as dropped, server-side on Delta.Dropped, client-side
+// on Dropped.
 func (c *Client) Flush() error {
 	_, err := c.rpc(&Frame{Type: TypeFlush})
 	return err
@@ -268,6 +275,12 @@ func (c *Client) Flush() error {
 // client is closed. Consumers must drain it promptly; see
 // DialConfig.DeltaBuffer.
 func (c *Client) Deltas() <-chan Delta { return c.deltas }
+
+// Dropped reports the number of deltas discarded client-side because
+// the Deltas buffer was full when they arrived. Server-side queue
+// overflow is reported separately, on each delivered Delta's Dropped
+// field.
+func (c *Client) Dropped() uint64 { return c.dropped.Load() }
 
 // Close tears the connection down and joins the read loop. Queries
 // registered by this connection are deregistered server-side.

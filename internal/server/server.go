@@ -118,13 +118,15 @@ type Server struct {
 
 	ctx    context.Context // cancelled by Close: stops intake, starts drain
 	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	wg     sync.WaitGroup // joins acceptLoop + ingestLoop
+	connWG sync.WaitGroup // joins per-connection readers/writers; Add under mu
 
 	ingest chan ingestMsg
 
 	mu      sync.Mutex
 	conns   map[*conn]struct{} // guarded by mu
 	subs    map[string][]*conn // guarded by mu — query name → subscribers
+	dying   map[string]int     // guarded by mu — names mid-Deregister; bars new subscriptions
 	closing bool               // guarded by mu
 
 	closeOnce sync.Once
@@ -206,6 +208,7 @@ func Start(g *graph.Graph, cfg Config) (*Server, error) {
 		ingest: make(chan ingestMsg, cfg.MaxInflight),
 		conns:  make(map[*conn]struct{}),
 		subs:   make(map[string][]*conn),
+		dying:  make(map[string]int),
 	}
 	s.multi.OnDelta = s.fanout
 	if err := s.multi.Init(g); err != nil {
@@ -290,6 +293,10 @@ func (s *Server) acceptLoop() {
 				queries: make(map[string]struct{}),
 			}
 			s.conns[cn] = struct{}{}
+			// Add under mu, serialized with Close's closing=true: the
+			// ingestion loop's post-cancel connWG.Wait can never miss a
+			// connection admitted by a racing accept.
+			s.connWG.Add(2)
 		}
 		s.mu.Unlock()
 		if full {
@@ -303,7 +310,6 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		s.trace("accept", 1)
-		s.wg.Add(2)
 		go s.readLoop(cn)
 		go s.writeLoop(cn)
 	}
@@ -312,7 +318,7 @@ func (s *Server) acceptLoop() {
 // readLoop parses and serves one connection's requests until the
 // connection fails, idles out, or the server closes.
 func (s *Server) readLoop(cn *conn) {
-	defer s.wg.Done()
+	defer s.connWG.Done()
 	defer s.teardown(cn)
 	br := bufio.NewReader(cn.c)
 	for {
@@ -345,14 +351,33 @@ func (s *Server) teardown(cn *conn) {
 	s.mu.Unlock()
 	for name := range cn.queries {
 		// Other connections' subscriptions to this query die with it.
-		s.mu.Lock()
-		delete(s.subs, name)
-		s.mu.Unlock()
-		if s.multi.Deregister(name) {
+		if s.dropQuery(name) {
 			s.trace("deregister", 1)
 		}
 	}
 	s.trace("disconnect", 1)
+}
+
+// dropQuery removes a query's subscriptions and deregisters its engine
+// as one logical step: the name stays marked dying (under mu) for the
+// whole window, so a concurrent SUBSCRIBE cannot slip between the subs
+// delete and the engine teardown and leave a stale subscription that
+// would silently attach to a future re-registration of the same name.
+// mu is NOT held across Deregister itself — Deregister waits on any
+// in-flight ProcessBatch, whose fanout takes mu, so holding it here
+// would deadlock.
+func (s *Server) dropQuery(name string) bool {
+	s.mu.Lock()
+	delete(s.subs, name)
+	s.dying[name]++
+	s.mu.Unlock()
+	ok := s.multi.Deregister(name)
+	s.mu.Lock()
+	if s.dying[name]--; s.dying[name] == 0 {
+		delete(s.dying, name)
+	}
+	s.mu.Unlock()
+	return ok
 }
 
 func removeConn(subs []*conn, cn *conn) []*conn {
@@ -416,10 +441,7 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 			return s.replyErr(cn, f.ID, 0, fmt.Errorf("query %q not registered by this connection", f.Query))
 		}
 		delete(cn.queries, f.Query)
-		s.mu.Lock()
-		delete(s.subs, f.Query)
-		s.mu.Unlock()
-		s.multi.Deregister(f.Query)
+		s.dropQuery(f.Query)
 		s.trace("deregister", 1)
 		return s.replyOK(cn, f.ID, 0)
 
@@ -428,6 +450,10 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 			return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown query %q", f.Query))
 		}
 		s.mu.Lock()
+		if s.dying[f.Query] > 0 {
+			s.mu.Unlock()
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown query %q", f.Query))
+		}
 		already := false
 		for _, c := range s.subs[f.Query] {
 			if c == cn {
@@ -438,6 +464,19 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 			s.subs[f.Query] = append(s.subs[f.Query], cn)
 		}
 		s.mu.Unlock()
+		if s.multi.Engine(f.Query) == nil {
+			// Deregistered between the existence check and the insert (the
+			// dying marker only bars the subs-delete→Deregister window):
+			// roll back so the subscription cannot outlive its query.
+			s.mu.Lock()
+			if subs := removeConn(s.subs[f.Query], cn); len(subs) > 0 {
+				s.subs[f.Query] = subs
+			} else {
+				delete(s.subs, f.Query)
+			}
+			s.mu.Unlock()
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown query %q", f.Query))
+		}
 		s.trace("subscribe", 1)
 		return s.replyOK(cn, f.ID, 0)
 
@@ -526,6 +565,11 @@ func (s *Server) ingestLoop() {
 			}
 			s.flushBatch(&batch)
 		case <-s.ctx.Done():
+			// A reader's enqueue select can still win the ingest send after
+			// cancellation; wait for every connection goroutine to exit so
+			// the final drain observes a quiescent queue and no update
+			// acknowledged "ok" is silently lost.
+			s.connWG.Wait()
 			for {
 				select {
 				case m := <-s.ingest:
@@ -581,8 +625,11 @@ func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bo
 		return
 	}
 	s.deltasTotal.Add(1)
+	// Snapshot the subscriber list under the lock: teardown compacts the
+	// backing array in place and subscribe appends into its spare
+	// capacity, so iterating the bare slice header unlocked races.
 	s.mu.Lock()
-	subs := s.subs[qname]
+	subs := append([]*conn(nil), s.subs[qname]...)
 	s.mu.Unlock()
 	for _, cn := range subs {
 		f := &Frame{
@@ -602,7 +649,7 @@ func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bo
 // writeLoop serializes one connection's outbound frames, batching
 // flushes while the queue stays hot.
 func (s *Server) writeLoop(cn *conn) {
-	defer s.wg.Done()
+	defer s.connWG.Done()
 	bw := bufio.NewWriter(cn.c)
 	for {
 		select {

@@ -452,6 +452,112 @@ func TestServerSlowSubscriberOverflow(t *testing.T) {
 	}
 }
 
+// TestClientSlowConsumerFlush: a client that subscribes but never
+// drains Deltas must not wedge its own reply demultiplexer — Flush
+// returns even when the delta volume far exceeds DeltaBuffer, with the
+// overflow counted client-side (drop-and-count, like the server's
+// subscriber queues).
+func TestClientSlowConsumerFlush(t *testing.T) {
+	g := uniformGraph(300)
+	q := singleEdgeQuery(t)
+	srv := startTestServer(t, g, Config{
+		SubscriberQueue: 1 << 15,
+		Engine:          []core.Option{core.Threads(1)},
+	})
+
+	cl, err := Dial(srv.Addr(), DialConfig{DeltaBuffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("slow", "GraphFlow", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Subscribe("slow"); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	updates := insertOnlyStream(rng, g, 3000, 1)
+	for off := 0; off < len(updates); off += 500 {
+		if n, err := cl.Send(updates[off : off+500]); err != nil || n != 500 {
+			t.Fatalf("send: %d, %v", n, err)
+		}
+	}
+	// Nothing has drained Deltas; with the old blocking read loop this
+	// Flush deadlocked against the undelivered deltas.
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Dropped() == 0 {
+		t.Fatal("overflowing DeltaBuffer counted no client-side drops")
+	}
+
+	// Every delta the server delivered was either buffered or counted.
+	buffered := uint64(0)
+drain:
+	for {
+		select {
+		case <-cl.Deltas():
+			buffered++
+		default:
+			break drain
+		}
+	}
+	m := srv.Metrics()
+	delivered := m.Deltas - m.DeltasDropped
+	if buffered+cl.Dropped() != delivered {
+		t.Fatalf("buffered %d + dropped %d != delivered %d", buffered, cl.Dropped(), delivered)
+	}
+}
+
+// TestServerSubscribeDeregisterRace hammers SUBSCRIBE against the
+// owner's deregister cycle: whatever the interleaving, a subscription
+// must never survive the query it attached to — once the name is
+// deregistered, no stale subs entry may remain to silently attach to a
+// future re-registration.
+func TestServerSubscribeDeregisterRace(t *testing.T) {
+	g := uniformGraph(20)
+	q := singleEdgeQuery(t)
+	srv := startTestServer(t, g, Config{Engine: []core.Option{core.Threads(1)}})
+
+	owner, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	sub, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := owner.Register("r", "GraphFlow", q); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 4; j++ {
+				_ = sub.Subscribe("r") // racing the deregister; errors expected
+			}
+		}()
+		if err := owner.Deregister("r"); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		// Both RPC streams are quiescent and the query is gone: any
+		// subscription that slipped into the teardown window is stale.
+		srv.mu.Lock()
+		stale := len(srv.subs["r"])
+		srv.mu.Unlock()
+		if stale != 0 {
+			t.Fatalf("iteration %d: %d stale subscriptions on a deregistered query", i, stale)
+		}
+	}
+}
+
 // TestServerRejectBackpressure holds the ingestion loop mid-batch with
 // the test gate and checks the reject policy's accounting exactly: one
 // update held in the open batch plus MaxInflight queued are admitted,
