@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-json bench-compare debug-smoke serve-smoke fuzz experiments examples clean
+.PHONY: all build lint lint-json test race bench bench-json bench-compare debug-smoke serve-smoke fuzz experiments examples clean
 
 all: lint test
 
@@ -10,13 +10,20 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# lint = build + go vet (via build) + the project-specific concurrency
-# analyzers (lockguard, atomicmix, goroutineleak, rangedeterminism,
-# lockcopy). Non-zero exit on any finding; see DESIGN.md "Static analysis
-# layer" for the // guarded by convention and the //lint:ignore escape
-# hatch.
+# lint = build + go vet (via build) + the project-specific concurrency and
+# allocation analyzers (lockguard, lockescape, atomicmix, goroutineleak,
+# waitgroup, chandrop, noalloc, rangedeterminism, lockcopy). Non-zero exit
+# on any finding, including stale //lint:ignore directives (strict mode is
+# the default); see DESIGN.md "Static analysis layer" for the annotation
+# grammar and escape hatches.
 lint: build
 	$(GO) run ./cmd/paracosmvet ./...
+
+# Machine-readable lint report: findings as JSON plus the ignore-directive
+# inventory on stderr. CI uploads paracosmvet.json as a build artifact.
+lint-json:
+	$(GO) run ./cmd/paracosmvet -json ./... | tee paracosmvet.json
+	$(GO) run ./cmd/paracosmvet -ignores ./... 1>&2
 
 test:
 	$(GO) test ./...

@@ -1,19 +1,25 @@
 // Command paracosmvet runs ParaCOSM's project-specific static-analysis
-// suite (internal/lint) over the module: lockguard, atomicmix,
-// goroutineleak, rangedeterminism, and lockcopy. It exits non-zero on any
-// finding so `make lint` and CI can gate on it.
+// suite (internal/lint) over the module: lockguard, lockescape, atomicmix,
+// goroutineleak, waitgroup, chandrop, noalloc, rangedeterminism, and
+// lockcopy. It exits non-zero on any finding so `make lint` and CI can gate
+// on it.
 //
 // Usage:
 //
-//	go run ./cmd/paracosmvet [packages]
+//	go run ./cmd/paracosmvet [-checks c1,c2] [-disable c1,c2] [-json] [-ignores] [packages]
 //
 // where packages are go-tool-style patterns relative to the module root
 // ("./...", "./internal/graph", ...). With no arguments the whole module
 // is checked. Intentional violations are silenced in-source with
-// //lint:ignore <check> <reason>.
+// //lint:ignore <check> <reason>; the directives themselves are audited —
+// one naming an unknown check, or suppressing nothing for a check that ran,
+// is a finding (disable with -strict-ignores=false). -ignores prints the
+// full escape-hatch inventory; -json emits findings as a JSON array for
+// machine consumption (CI artifacts).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +31,12 @@ import (
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated checks to skip")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	ignores := flag.Bool("ignores", false, "report every //lint:ignore directive with its suppression count")
+	strict := flag.Bool("strict-ignores", true, "fail on //lint:ignore directives that name an unknown check or suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paracosmvet [-checks c1,c2] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: paracosmvet [-checks c1,c2] [-disable c1,c2] [-json] [-ignores] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,20 +59,63 @@ func main() {
 
 	analyzers := lint.DefaultAnalyzers()
 	if *checks != "" {
-		analyzers, err = selectAnalyzers(analyzers, *checks)
+		analyzers, err = selectAnalyzers(analyzers, *checks, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paracosmvet:", err)
+			os.Exit(2)
+		}
+	}
+	if *disable != "" {
+		analyzers, err = selectAnalyzers(analyzers, *disable, false)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paracosmvet:", err)
 			os.Exit(2)
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		rel, err := filepath.Rel(root, d.Pos.Filename)
-		if err != nil || len(rel) >= len(d.Pos.Filename) {
-			rel = d.Pos.Filename
+	diags, ignoreInfos := lint.RunAll(pkgs, analyzers, lint.Options{StrictIgnores: *strict})
+
+	rel := func(name string) string {
+		r, err := filepath.Rel(root, name)
+		if err != nil || len(r) >= len(name) {
+			return name
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		return r
+	}
+
+	if *ignores {
+		for _, ig := range ignoreInfos {
+			fmt.Printf("%s:%d: //lint:ignore %s (%s) — suppressed %d finding(s)\n",
+				rel(ig.Pos.Filename), ig.Pos.Line, ig.Check, ig.Reason, ig.Matched)
+		}
+		fmt.Fprintf(os.Stderr, "paracosmvet: %d ignore directive(s)\n", len(ignoreInfos))
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		outDiags := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			outDiags = append(outDiags, jsonDiag{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Check: d.Check, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outDiags); err != nil {
+			fmt.Fprintln(os.Stderr, "paracosmvet:", err)
+			os.Exit(2)
+		}
+	} else if !*ignores {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "paracosmvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
@@ -70,7 +123,9 @@ func main() {
 	}
 }
 
-func selectAnalyzers(all []lint.Analyzer, spec string) ([]lint.Analyzer, error) {
+// selectAnalyzers filters the suite: keep=true retains exactly the named
+// checks, keep=false drops them. Unknown names are an error either way.
+func selectAnalyzers(all []lint.Analyzer, spec string, keep bool) ([]lint.Analyzer, error) {
 	want := map[string]bool{}
 	for _, name := range strings.Split(spec, ",") {
 		if name != "" {
@@ -79,10 +134,10 @@ func selectAnalyzers(all []lint.Analyzer, spec string) ([]lint.Analyzer, error) 
 	}
 	var out []lint.Analyzer
 	for _, a := range all {
-		if want[a.Name()] {
+		if want[a.Name()] == keep {
 			out = append(out, a)
-			delete(want, a.Name())
 		}
+		delete(want, a.Name())
 	}
 	for name := range want {
 		return nil, fmt.Errorf("unknown check %q", name)

@@ -50,7 +50,7 @@ type Pool[T any] struct {
 	// epochMu serializes Submit/Close so only one epoch (or shutdown) is
 	// in flight; mu alone cannot, because Submit releases it while parked.
 	epochMu sync.Mutex
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // joins workers; Add serialized by construction (all Adds happen in NewPool, before the pool escapes)
 }
 
 // NewPool starts size persistent workers (size < 1 is clamped to 1). The

@@ -147,6 +147,10 @@ func (e *Engine) ProcessUpdate(ctx context.Context, upd stream.Update) (csm.Delt
 // feeds the trace event — execution is identical for every class. The
 // body is deliberately closure-free: closures capturing the delta would
 // escape to the heap and put allocations on the per-update hot path.
+// TestProcessUpdateAllocations measures the contract at runtime; the
+// directive below makes paracosmvet prove it at lint time.
+//
+//paracosm:noalloc
 func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classification, reclassified bool) (csm.Delta, error) {
 	var d csm.Delta
 	var r innerResult
@@ -197,6 +201,7 @@ func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classi
 		d.TADS = time.Since(tA)
 
 	default:
+		//lint:ignore noalloc malformed-stream path: formatting the error is off the per-update contract
 		return d, fmt.Errorf("core: unknown op %v", upd.Op)
 	}
 
@@ -222,6 +227,8 @@ func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classi
 // d.TFind and returning the inner result plus the caller-thread busy
 // time (0 in simulate mode: simulateSchedule attributes per-worker
 // loads, including the caller slot, itself).
+//
+//paracosm:noalloc
 func (e *Engine) findPhase(deadline time.Time, hasDeadline bool, upd stream.Update, positive, simulate bool, d *csm.Delta) (innerResult, time.Duration) {
 	if simulate {
 		r, simFind := e.findMatchesSimulated(deadline, hasDeadline, upd, positive)

@@ -100,6 +100,13 @@ func (e *Engine) findMatchesParallel(deadline time.Time, hasDeadline bool, upd s
 // epoch. The engine's persistent workers (started lazily here, released by
 // Engine.Close) drain the frontier; a task that detects starved siblings
 // re-splits its shallow subtrees back into the epoch's queue.
+//
+// Escalation is off the zero-alloc contract by design: the per-epoch
+// closures and scratch slices below are amortized over the heavy updates
+// that reach this point (see TestProcessUpdateAllocations, which measures
+// the light-update path only).
+//
+//paracosm:allocs escalated epochs allocate per-epoch closures and scratch
 func (e *Engine) runWorkers(frontier []csm.State, deadline time.Time, hasDeadline bool, positive bool) innerResult {
 	threads := e.cfg.Threads
 	pool := e.ensurePool()
@@ -179,6 +186,8 @@ func (e *Engine) runWorkers(frontier []csm.State, deadline time.Time, hasDeadlin
 // ensurePool lazily starts the persistent worker pool: engines that never
 // escalate (Threads==1, or streams of only light updates) never spawn a
 // goroutine. Engine.Close releases it; a later escalation restarts it.
+//
+//paracosm:allocs one-time pool spin-up on first escalation
 func (e *Engine) ensurePool() *concurrent.Pool[csm.State] {
 	if e.pool == nil {
 		e.pool = concurrent.NewPool[csm.State](e.cfg.Threads)

@@ -164,7 +164,6 @@ func (m *MultiEngine) Deregister(name string) bool {
 }
 
 func (m *MultiEngine) findLocked(name string) *multiQuery {
-	//lint:ignore lockguard *Locked helper: every caller holds m.mu
 	for _, mq := range m.queries {
 		if mq.name == name {
 			return mq
@@ -188,7 +187,6 @@ func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
 // broadcastLocked fans s out to every query engine and joins them.
 func (m *MultiEngine) broadcastLocked(ctx context.Context, s stream.Stream) {
 	var wg sync.WaitGroup
-	//lint:ignore lockguard *Locked helper: every caller holds m.mu
 	for _, mq := range m.queries {
 		wg.Add(1)
 		go func(mq *multiQuery) {
@@ -200,7 +198,6 @@ func (m *MultiEngine) broadcastLocked(ctx context.Context, s stream.Stream) {
 }
 
 func (m *MultiEngine) firstErrLocked() error {
-	//lint:ignore lockguard *Locked helper: every caller holds m.mu
 	for _, mq := range m.queries {
 		if mq.err != nil {
 			return fmt.Errorf("query %q: %w", mq.name, mq.err)

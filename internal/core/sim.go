@@ -64,6 +64,8 @@ type simProfile struct {
 // findMatchesSimulated explores the update's search tree sequentially,
 // profiling the task decomposition, and returns the result together with
 // the simulated parallel find time.
+//
+//paracosm:allocs simulation mode profiles the task tree into scratch slices
 func (e *Engine) findMatchesSimulated(deadline time.Time, hasDeadline bool, upd stream.Update, positive bool) (innerResult, time.Duration) {
 	var res innerResult
 	prof := simProfile{}

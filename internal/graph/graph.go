@@ -106,6 +106,7 @@ func (g *Graph) AddVertex(l Label) VertexID {
 // VerticesWithLabel makes no ordering promise.
 func (g *Graph) DeleteVertex(v VertexID) {
 	if len(g.adj[v]) != 0 {
+		//lint:ignore noalloc contract-violation panic: formatting happens once, on the way down
 		panic(fmt.Sprintf("graph: DeleteVertex(%d): vertex not isolated (degree %d)", v, len(g.adj[v])))
 	}
 	g.alive[v] = false
@@ -160,6 +161,8 @@ func (g *Graph) Neighbors(v VertexID) []Neighbor { return g.adj[v] }
 // labels)) and the result is a zero-allocation view: it aliases internal
 // storage, must not be modified, and is invalidated by the next mutation of
 // v's adjacency (same rules as Neighbors).
+//
+//paracosm:noalloc
 func (g *Graph) NeighborsWithLabel(v VertexID, l Label) []Neighbor {
 	lo, hi := g.labelRun(v, l)
 	return g.adj[v][lo:hi]
@@ -167,6 +170,8 @@ func (g *Graph) NeighborsWithLabel(v VertexID, l Label) []Neighbor {
 
 // DegreeWithLabel returns the number of neighbors of v carrying vertex
 // label l, without materializing the slice.
+//
+//paracosm:noalloc
 func (g *Graph) DegreeWithLabel(v VertexID, l Label) int {
 	lo, hi := g.labelRun(v, l)
 	return hi - lo
@@ -250,7 +255,7 @@ func (g *Graph) AddEdge(u, v VertexID, l Label) bool {
 		return false
 	}
 	g.insertHalf(v, u, l)
-	//lint:ignore lockguard plain AddEdge is the externally-serialized mutation path (package contract)
+	//lint:ignore lockguard plain AddEdge is the externally-serialized mutation path — audited: serve mode funnels all mutation through MultiEngine.ProcessBatch under m.mu, and per-query clones are single-goroutine
 	g.edges++
 	return true
 }
@@ -262,7 +267,7 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 		return false
 	}
 	g.removeHalf(v, u)
-	//lint:ignore lockguard plain RemoveEdge is the externally-serialized mutation path (package contract)
+	//lint:ignore lockguard plain RemoveEdge is the externally-serialized mutation path — audited: serve mode funnels all mutation through MultiEngine.ProcessBatch under m.mu, and per-query clones are single-goroutine
 	g.edges--
 	return true
 }
@@ -349,7 +354,7 @@ func (g *Graph) Clone() *Graph {
 		segs:   make([][]labelSeg, len(g.segs)),
 		alive:  append([]bool(nil), g.alive...),
 		live:   g.live,
-		//lint:ignore lockguard Clone snapshots a quiescent graph (no concurrent mutators by contract)
+		//lint:ignore lockguard Clone snapshots a quiescent graph — audited: serve mode clones only inside RegisterLive/Init under m.mu, which excludes the ProcessBatch mutators
 		edges:   g.edges,
 		byLabel: make(map[Label][]VertexID, len(g.byLabel)),
 	}

@@ -42,6 +42,8 @@ const (
 
 // SearchNeighbors returns the smallest index i with a[i].ID >= v, assuming a
 // is sorted by ID (which every NeighborsWithLabel run is).
+//
+//paracosm:noalloc
 func SearchNeighbors(a []Neighbor, v VertexID) int {
 	lo, hi := 0, len(a)
 	for lo < hi {
@@ -57,6 +59,8 @@ func SearchNeighbors(a []Neighbor, v VertexID) int {
 
 // FindInNeighbors reports whether v occurs in the ID-sorted run a, and the
 // label of the connecting edge if so (NoLabel otherwise).
+//
+//paracosm:noalloc
 func FindInNeighbors(a []Neighbor, v VertexID) (Label, bool) {
 	i := SearchNeighbors(a, v)
 	if i < len(a) && a[i].ID == v {
@@ -74,6 +78,8 @@ func FindInNeighbors(a []Neighbor, v VertexID) (Label, bool) {
 // Intended use is a monotonically advancing cursor: intersecting a candidate
 // run against k other runs costs one AdvanceNeighbors per (candidate, run)
 // pair, and each cursor only ever moves forward.
+//
+//paracosm:noalloc
 func AdvanceNeighbors(a []Neighbor, from int, v VertexID) (int, bool) {
 	n := len(a)
 	end := from + gallopLinear
@@ -110,6 +116,8 @@ func AdvanceNeighbors(a []Neighbor, from int, v VertexID) (int, bool) {
 }
 
 // SearchIDs returns the smallest index i with a[i] >= v, assuming a sorted.
+//
+//paracosm:noalloc
 func SearchIDs(a []VertexID, v VertexID) int {
 	lo, hi := 0, len(a)
 	for lo < hi {
@@ -124,6 +132,8 @@ func SearchIDs(a []VertexID, v VertexID) int {
 }
 
 // AdvanceIDs is AdvanceNeighbors over a sorted []VertexID.
+//
+//paracosm:noalloc
 func AdvanceIDs(a []VertexID, from int, v VertexID) (int, bool) {
 	n := len(a)
 	end := from + gallopLinear
@@ -163,6 +173,8 @@ func AdvanceIDs(a []VertexID, from int, v VertexID) (int, bool) {
 // the zipper primitives directly). The kernel is chosen adaptively: linear
 // merge for similar sizes, galloping over the larger run when the sizes
 // differ by GallopRatio or more. dst must not alias a or b.
+//
+//paracosm:noalloc
 func IntersectNeighborIDs(dst []VertexID, a, b []Neighbor, st *KernelStats) []VertexID {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -218,6 +230,8 @@ func IntersectNeighborIDs(dst []VertexID, a, b []Neighbor, st *KernelStats) []Ve
 // is explicitly allowed (in-place fold): the write cursor never overtakes
 // the read cursor and every written value equals the element it replaces,
 // so folding a k-way intersection through one buffer needs no second one.
+//
+//paracosm:noalloc
 func IntersectIDsNeighbors(dst, ids []VertexID, b []Neighbor, st *KernelStats) []VertexID {
 	if len(ids) == 0 || len(b) == 0 {
 		if st != nil {
@@ -286,6 +300,8 @@ func IntersectIDsNeighbors(dst, ids []VertexID, b []Neighbor, st *KernelStats) [
 // b, in ascending order, choosing merge or gallop by size ratio. dst must
 // not alias b; dst == a[:0] is allowed (same argument as
 // IntersectIDsNeighbors).
+//
+//paracosm:noalloc
 func IntersectIDs(dst, a, b []VertexID, st *KernelStats) []VertexID {
 	if len(a) > len(b) {
 		a, b = b, a

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// ChanDrop enforces the repo-wide drop-and-count policy: a select statement
+// with a default arm that abandons a send (the try-send shape — offerDelta,
+// enqueue's reject path, the client's delta demultiplexer) silently loses
+// data unless the overflow is counted. Every such select must carry a
+//
+//	// drop-counted by <counter>
+//
+// annotation on or near the select, naming a field that the default arm
+// actually increments (x.f++, x.f += n, or an atomic x.f.Add(..)). A
+// receive-with-default (polling or drain loops) consumes nothing when it
+// misses, so it is not a drop site and is not checked.
+type ChanDrop struct{}
+
+func (ChanDrop) Name() string { return "chandrop" }
+
+var dropRe = regexp.MustCompile(`drop-counted by\s+([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func (ChanDrop) Check(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		// Per-file line → annotated counter name.
+		for _, f := range p.Files {
+			annAt := map[int]string{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if m := dropRe.FindStringSubmatch(c.Text); m != nil {
+						annAt[p.Fset.Position(c.Pos()).Line] = m[1]
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				var def *ast.CommClause
+				hasSend := false
+				for _, cl := range sel.Body.List {
+					cc := cl.(*ast.CommClause)
+					if cc.Comm == nil {
+						def = cc
+					} else if _, isSend := cc.Comm.(*ast.SendStmt); isSend {
+						hasSend = true
+					}
+				}
+				if def == nil || !hasSend {
+					return true
+				}
+				start := p.Fset.Position(sel.Pos()).Line
+				end := p.Fset.Position(sel.End()).Line
+				counter := ""
+				for line := start - 1; line <= end; line++ {
+					if c, ok := annAt[line]; ok {
+						counter = c
+						break
+					}
+				}
+				if counter == "" {
+					out = append(out, diagAt(p, sel.Pos(), "chandrop", "select discards a send on default "+
+						"without accounting: annotate \"// drop-counted by <counter>\" and increment it in the default arm"))
+					return true
+				}
+				if !incrementsCounter(def, counter) {
+					out = append(out, diagAt(p, sel.Pos(), "chandrop", fmt.Sprintf(
+						"select is annotated \"drop-counted by %s\" but the default arm never increments %s",
+						counter, counter)))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// incrementsCounter reports whether the default arm bumps the named
+// counter: x.f++, x.f += n, or x.f.Add(n) for atomics.
+func incrementsCounter(def *ast.CommClause, counter string) bool {
+	match := func(e ast.Expr) bool {
+		r := renderExt(e)
+		if r == "" {
+			return false
+		}
+		return r == counter || hasSuffixPath(r, counter)
+	}
+	for _, st := range def.Body {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC && match(n.X) {
+					found = true
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && match(n.Lhs[0]) {
+					found = true
+				}
+			case *ast.CallExpr:
+				if s, ok := n.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Add" && match(s.X) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSuffixPath reports whether rendered path r ends in ".suffix" — the
+// annotation names the counter field, increments address it through a
+// receiver chain ("cn.dropped" matches "dropped").
+func hasSuffixPath(r, suffix string) bool {
+	return len(r) > len(suffix)+1 && r[len(r)-len(suffix):] == suffix && r[len(r)-len(suffix)-1] == '.'
+}

@@ -5,11 +5,23 @@
 // that go vet cannot express:
 //
 //   - lockguard:         fields declared "// guarded by <mutex>" are only
-//     touched while that mutex is held on the same receiver
+//     touched while that mutex is held on the same receiver; lock obligations
+//     propagate through the *Locked helper convention (the helper body is
+//     licensed, its callers must hold the guard)
+//   - lockescape:        a guarded slice/map/pointer value must not be
+//     ranged, indexed, or returned outside the region where its mutex is held
 //   - atomicmix:         a field accessed through sync/atomic is never also
 //     accessed non-atomically
 //   - goroutineleak:     every `go func` literal is joinable — it signals a
 //     WaitGroup that saw Add in the spawning scope, or sends/closes a channel
+//   - waitgroup:         Add/Done/Wait discipline — no Add inside the spawned
+//     goroutine, Done deferred when early returns exist, and cross-function
+//     Add/Wait serialized by a mutex or a "// Add serialized by" annotation
+//   - chandrop:          a select with a default arm that discards a send
+//     must increment the counter named by "// drop-counted by <field>"
+//   - noalloc:           a //paracosm:noalloc function is transitively free
+//     of closures, map/slice literals, growing appends, interface boxing,
+//     string concatenation and variadic boxing through same-module calls
 //   - rangedeterminism:  no `for range` over maps on result-reporting or
 //     matching-order code paths unless the values feed a sort
 //   - lockcopy:          generics-aware detection of by-value copies of types
@@ -19,7 +31,9 @@
 //
 //	//lint:ignore <check> <reason>
 //
-// placed on the offending line or the line directly above it.
+// placed on the offending line or the line directly above it. Ignores are
+// themselves audited: RunAll in strict mode fails on a directive naming an
+// unknown check or matching zero diagnostics.
 package lint
 
 import (
@@ -55,25 +69,52 @@ type Analyzer interface {
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		LockGuard{},
+		LockEscape{},
 		AtomicMix{},
 		GoroutineLeak{},
+		WaitGroupCheck{},
+		ChanDrop{},
+		NoAlloc{},
 		RangeDeterminism{Paths: []string{"internal/query", "internal/csm", "internal/core"}},
 		LockCopy{},
 	}
+}
+
+// KnownChecks returns the names of every check in the registry, whether or
+// not it is selected for a given run. Strict ignore validation resolves
+// //lint:ignore directives against this set: naming anything else is an
+// error even when the named analyzer is disabled for the run.
+func KnownChecks() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name()] = true
+	}
+	return known
 }
 
 // ignoreRe matches the escape-hatch directive. The check name and a
 // non-empty reason are both mandatory.
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z][A-Za-z0-9_-]*)\s+(\S.*)$`)
 
-// ignoreIndex records, per file and line, which checks are suppressed.
+// IgnoreInfo describes one //lint:ignore directive found in the sources and
+// how many diagnostics it suppressed during the run.
+type IgnoreInfo struct {
+	Pos     token.Position
+	Check   string
+	Reason  string
+	Matched int // diagnostics suppressed by this directive
+}
+
+// ignoreIndex records, per file and line, which checks are suppressed, and
+// tracks every well-formed directive so stale ones can be reported.
 type ignoreIndex struct {
-	byFileLine map[string]map[int]map[string]bool
+	byFileLine map[string]map[int]map[string]*IgnoreInfo
+	entries    []*IgnoreInfo
 	malformed  []Diagnostic
 }
 
 func collectIgnores(pkgs []*Package) *ignoreIndex {
-	ix := &ignoreIndex{byFileLine: map[string]map[int]map[string]bool{}}
+	ix := &ignoreIndex{byFileLine: map[string]map[int]map[string]*IgnoreInfo{}}
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
@@ -91,17 +132,19 @@ func collectIgnores(pkgs []*Package) *ignoreIndex {
 						})
 						continue
 					}
+					ent := &IgnoreInfo{Pos: pos, Check: m[1], Reason: m[2]}
+					ix.entries = append(ix.entries, ent)
 					lines := ix.byFileLine[pos.Filename]
 					if lines == nil {
-						lines = map[int]map[string]bool{}
+						lines = map[int]map[string]*IgnoreInfo{}
 						ix.byFileLine[pos.Filename] = lines
 					}
 					checks := lines[pos.Line]
 					if checks == nil {
-						checks = map[string]bool{}
+						checks = map[string]*IgnoreInfo{}
 						lines[pos.Line] = checks
 					}
-					checks[m[1]] = true
+					checks[m[1]] = ent
 				}
 			}
 		}
@@ -110,13 +153,30 @@ func collectIgnores(pkgs []*Package) *ignoreIndex {
 }
 
 // suppressed reports whether d is covered by an ignore directive on the
-// same line or the line directly above.
+// same line or the line directly above, crediting the directive's match
+// count when it is.
 func (ix *ignoreIndex) suppressed(d Diagnostic) bool {
 	lines := ix.byFileLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[d.Pos.Line][d.Check] || lines[d.Pos.Line-1][d.Check]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if ent := lines[line][d.Check]; ent != nil {
+			ent.Matched++
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures a RunAll invocation.
+type Options struct {
+	// StrictIgnores makes the run fail on escape-hatch rot: an ignore
+	// directive naming a check outside KnownChecks (always an error — a
+	// typo silences nothing), or one that suppressed zero diagnostics of
+	// an analyzer that actually ran (the code it excused has been fixed,
+	// so the directive is stale and must be deleted).
+	StrictIgnores bool
 }
 
 // Run executes every analyzer over pkgs, filters findings through the
@@ -124,12 +184,36 @@ func (ix *ignoreIndex) suppressed(d Diagnostic) bool {
 // deterministic (file, line, column, check) order. Malformed ignore
 // directives are themselves reported.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	diags, _ := RunAll(pkgs, analyzers, Options{})
+	return diags
+}
+
+// RunAll is Run with configurable ignore auditing; it additionally returns
+// every well-formed //lint:ignore directive with its suppression count (in
+// source order) so callers can report on the escape-hatch inventory.
+func RunAll(pkgs []*Package, analyzers []Analyzer, opts Options) ([]Diagnostic, []IgnoreInfo) {
 	ix := collectIgnores(pkgs)
 	out := append([]Diagnostic(nil), ix.malformed...)
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name()] = true
 		for _, d := range a.Check(pkgs) {
 			if !ix.suppressed(d) {
 				out = append(out, d)
+			}
+		}
+	}
+	if opts.StrictIgnores {
+		known := KnownChecks()
+		for _, ent := range ix.entries {
+			switch {
+			case !known[ent.Check]:
+				out = append(out, Diagnostic{Pos: ent.Pos, Check: "ignore", Message: fmt.Sprintf(
+					"directive names unknown check %q (known: %s)", ent.Check, knownCheckList())})
+			case ran[ent.Check] && ent.Matched == 0:
+				out = append(out, Diagnostic{Pos: ent.Pos, Check: "ignore", Message: fmt.Sprintf(
+					"stale directive: no %s diagnostic is suppressed here — delete it (reason was: %s)",
+					ent.Check, ent.Reason)})
 			}
 		}
 	}
@@ -146,5 +230,25 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return out
+	infos := make([]IgnoreInfo, len(ix.entries))
+	for i, ent := range ix.entries {
+		infos[i] = *ent
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		a, b := infos[i], infos[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, infos
+}
+
+func knownCheckList() string {
+	var names []string
+	for name := range KnownChecks() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }

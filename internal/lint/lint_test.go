@@ -97,6 +97,16 @@ func TestAtomicMix(t *testing.T)     { checkFixture(t, "atomicmix", AtomicMix{})
 func TestGoroutineLeak(t *testing.T) { checkFixture(t, "goroutineleak", GoroutineLeak{}) }
 func TestLockCopy(t *testing.T)      { checkFixture(t, "lockcopy", LockCopy{}) }
 
+// The v2 interprocedural rules: *Locked helper obligations propagate to
+// callers, guarded aliases must not outlive the lock region, WaitGroup
+// Add/Wait discipline, try-send drop accounting, and the transitive
+// zero-allocation prover.
+func TestLockGuardHelpers(t *testing.T) { checkFixture(t, "lockedhelper", LockGuard{}) }
+func TestLockEscape(t *testing.T)       { checkFixture(t, "lockescape", LockEscape{}) }
+func TestWaitGroup(t *testing.T)        { checkFixture(t, "waitgroup", WaitGroupCheck{}) }
+func TestChanDrop(t *testing.T)         { checkFixture(t, "chandrop", ChanDrop{}) }
+func TestNoAlloc(t *testing.T)          { checkFixture(t, "noalloc", NoAlloc{}) }
+
 func TestRangeDeterminism(t *testing.T) {
 	checkFixture(t, "rangedeterminism", RangeDeterminism{})
 }
@@ -112,6 +122,72 @@ func TestRangeDeterminismScoped(t *testing.T) {
 }
 
 func TestIgnoreDirective(t *testing.T) { checkFixture(t, "ignore", LockGuard{}) }
+
+// Strict-ignore mode turns suppression hygiene into findings: a directive
+// naming an unknown check and a directive that no longer suppresses
+// anything both fail the run, while a plain run stays silent.
+func TestStrictIgnores(t *testing.T) {
+	p := fixture(t, "staleignore")
+	if diags := Run([]*Package{p}, []Analyzer{LockGuard{}}); len(diags) != 0 {
+		t.Fatalf("non-strict run should be silent, got %v", diags)
+	}
+	diags, infos := RunAll([]*Package{p}, []Analyzer{LockGuard{}}, Options{StrictIgnores: true})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 strict-ignore diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "ignore" {
+			t.Errorf("want check %q, got %q: %s", "ignore", d.Check, d)
+		}
+	}
+	if len(infos) != 2 {
+		t.Fatalf("want 2 inventoried directives, got %d", len(infos))
+	}
+	for _, inf := range infos {
+		if inf.Matched != 0 {
+			t.Errorf("directive at %s suppressed %d finding(s); the fixture should have none", inf.Pos, inf.Matched)
+		}
+	}
+}
+
+// TestNoAllocPinsHotPath asserts the //paracosm:noalloc directive sits
+// directly on every function the runtime allocation guards measure
+// (TestProcessUpdateAllocations, TestKernelZeroAllocs), so the static
+// prover and the runtime guard pin the same set.
+func TestNoAllocPinsHotPath(t *testing.T) {
+	pins := map[string][]string{
+		"../core/engine.go": {"processUpdate", "findPhase"},
+		"../graph/graph.go": {"NeighborsWithLabel", "DegreeWithLabel"},
+		"../graph/intersect.go": {
+			"SearchNeighbors", "FindInNeighbors", "AdvanceNeighbors",
+			"SearchIDs", "AdvanceIDs",
+			"IntersectNeighborIDs", "IntersectIDsNeighbors", "IntersectIDs",
+		},
+	}
+	for file, fns := range pins {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		lines := strings.Split(string(data), "\n")
+		for _, fn := range fns {
+			found := false
+			for i, line := range lines {
+				if !strings.HasPrefix(line, "func ") || !strings.Contains(line, fn+"(") {
+					continue
+				}
+				found = true
+				if i == 0 || strings.TrimSpace(lines[i-1]) != "//paracosm:noalloc" {
+					t.Errorf("%s: %s is not pinned: the line above its declaration must be //paracosm:noalloc", file, fn)
+				}
+				break
+			}
+			if !found {
+				t.Errorf("%s: pinned function %s not found; update the pin list", file, fn)
+			}
+		}
+	}
+}
 
 // TestRepoClean is the self-hosting gate: the full default suite over the
 // whole module must be silent (any intentional violation carries a
@@ -135,7 +211,7 @@ func TestRepoClean(t *testing.T) {
 	// layer's per-connection goroutines carry `// guarded by` annotations
 	// and join-via-Close spawns; make sure the gate actually sees both
 	// packages rather than silently passing on a load failure.
-	for _, path := range []string{"paracosm/internal/obs", "paracosm/internal/server"} {
+	for _, path := range []string{"paracosm/internal/obs", "paracosm/internal/server", "paracosm/internal/concurrent"} {
 		found := false
 		for _, p := range pkgs {
 			if p.Path == path {
@@ -147,7 +223,13 @@ func TestRepoClean(t *testing.T) {
 			t.Errorf("%s not among loaded packages; the analyzers do not cover it", path)
 		}
 	}
-	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+	diags, infos := RunAll(pkgs, DefaultAnalyzers(), Options{StrictIgnores: true})
+	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+	// Every shipped //lint:ignore must earn its keep: strict mode already
+	// failed above on stale ones, so just log the inventory for the record.
+	for _, inf := range infos {
+		t.Logf("directive: %s //lint:ignore %s (%s) — suppressed %d", inf.Pos, inf.Check, inf.Reason, inf.Matched)
 	}
 }

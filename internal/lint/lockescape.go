@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockEscape flags guarded reference values that outlive their lock region
+// — the shape of the PR-5 fanout bug, where a "// guarded by mu" subscriber
+// slice was read under the mutex but ranged after releasing it. The v1
+// lockguard check is flow-insensitive: any Lock anywhere in the function
+// licenses every access, so it cannot see this. LockEscape computes the
+// positional Lock..Unlock regions (see lockRegions) and, for guarded fields
+// whose type is a slice, map, or pointer, reports:
+//
+//   - ranging or indexing the field outside every region of its mutex;
+//   - ranging, indexing, or returning a direct alias of the field
+//     (v := x.f, v := x.f[k]) outside the region;
+//   - returning the field (or an index/slice of it) at all — the reference
+//     escapes to a caller that does not hold the lock. Copy first
+//     (append([]T(nil), x.f...)) or return from a *Locked helper.
+//
+// The check only applies to functions that actually lock the guarding
+// mutex: a function with no region at all is already flagged by lockguard,
+// and *Locked helpers run entirely under their caller's lock.
+type LockEscape struct{}
+
+func (LockEscape) Name() string { return "lockescape" }
+
+func (LockEscape) Check(pkgs []*Package) []Diagnostic {
+	guards := collectGuards(pkgs)
+	if len(guards) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, fd := range funcDecls(p) {
+			if isHelperDecl(fd) {
+				continue
+			}
+			out = append(out, lockescapeFunc(p, fd, guards)...)
+		}
+	}
+	return out
+}
+
+// refType reports whether t's underlying type is a slice, map, or pointer —
+// the types for which holding a copy of the value still aliases the guarded
+// structure.
+func refType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func lockescapeFunc(p *Package, fd *ast.FuncDecl, guards map[types.Object]string) []Diagnostic {
+	locked := lockedSet(p, fd)
+	if len(locked) == 0 {
+		return nil
+	}
+	regions := lockRegions(p, fd.Body)
+
+	// guardedRef resolves e to a guarded reference-typed field access whose
+	// mutex this function locks somewhere, returning the mutex path the
+	// access must be covered by.
+	guardedRef := func(e ast.Expr) (want string, ok bool) {
+		sel, isSel := e.(*ast.SelectorExpr)
+		if !isSel {
+			return "", false
+		}
+		obj := fieldObj(p.Info, sel)
+		if obj == nil || !refType(obj.Type()) {
+			return "", false
+		}
+		mu, guarded := guards[obj]
+		if !guarded {
+			return "", false
+		}
+		base := render(sel.X)
+		want = mu
+		if base != "" {
+			want = base + "." + mu
+		}
+		if !locked[want] {
+			return "", false // unguarded access: lockguard's finding, not ours
+		}
+		return want, true
+	}
+
+	// Pass 1: collect direct aliases — v := x.f or v := x.f[k] where the
+	// alias itself still references guarded memory.
+	aliases := map[types.Object]string{} // alias var → mutex path
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			src := rhs
+			if ixe, isIx := src.(*ast.IndexExpr); isIx {
+				src = ixe.X
+			}
+			want, ok := guardedRef(src)
+			if !ok {
+				continue
+			}
+			id, isID := as.Lhs[i].(*ast.Ident)
+			if !isID {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil || !refType(obj.Type()) {
+				continue
+			}
+			aliases[obj] = want
+		}
+		return true
+	})
+
+	aliasOf := func(e ast.Expr) (string, bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		want, ok := aliases[p.Info.Uses[id]]
+		return want, ok
+	}
+
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if want, ok := guardedRef(n.X); ok && !heldAt(regions, want, n.Pos()) {
+				out = append(out, diagAt(p, n.Pos(), "lockescape", fmt.Sprintf(
+					"ranging over guarded %s outside the %s region in %s: snapshot it under the lock first",
+					render(n.X), want, fd.Name.Name)))
+			} else if want, ok := aliasOf(n.X); ok && !heldAt(regions, want, n.Pos()) {
+				out = append(out, diagAt(p, n.Pos(), "lockescape", fmt.Sprintf(
+					"ranging over alias %s of a guarded value outside the %s region in %s",
+					render(n.X), want, fd.Name.Name)))
+			}
+		case *ast.IndexExpr:
+			if want, ok := guardedRef(n.X); ok && !heldAt(regions, want, n.Pos()) {
+				out = append(out, diagAt(p, n.Pos(), "lockescape", fmt.Sprintf(
+					"indexing guarded %s outside the %s region in %s",
+					render(n.X), want, fd.Name.Name)))
+			} else if want, ok := aliasOf(n.X); ok && !heldAt(regions, want, n.Pos()) {
+				out = append(out, diagAt(p, n.Pos(), "lockescape", fmt.Sprintf(
+					"indexing alias %s of a guarded value outside the %s region in %s",
+					render(n.X), want, fd.Name.Name)))
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if !refType(typeOf(p.Info, res)) {
+					continue // returning a value-typed element is a copy
+				}
+				src := res
+				switch e := src.(type) {
+				case *ast.IndexExpr:
+					src = e.X
+				case *ast.SliceExpr:
+					src = e.X
+				}
+				if want, ok := guardedRef(src); ok {
+					out = append(out, diagAt(p, res.Pos(), "lockescape", fmt.Sprintf(
+						"returning guarded %s from %s: the reference escapes the %s region — return a copy or use a *Locked helper",
+						render(src), fd.Name.Name, want)))
+				} else if want, ok := aliasOf(src); ok {
+					out = append(out, diagAt(p, res.Pos(), "lockescape", fmt.Sprintf(
+						"returning alias %s of a guarded value from %s: the reference escapes the %s region — return a copy",
+						render(src), fd.Name.Name, want)))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc statically proves the hot path's zero-allocation contract — the
+// property the runtime guards (TestProcessUpdateAllocations,
+// TestKernelZeroAllocs) only measure on the inputs they happen to run. A
+// function carrying the directive
+//
+//	//paracosm:noalloc
+//
+// in its doc comment is checked, transitively through every statically
+// resolvable same-module call, for constructs that allocate:
+//
+//   - function literals (closure capture)
+//   - slice/map composite literals, make, new
+//   - appends that may grow a fresh slice — the amortized self-append
+//     forms `x = append(x, ...)` and `x = append(x[:k], ...)` are allowed,
+//     matching the runtime guard's steady-state measurement
+//   - string concatenation and string↔[]byte/[]rune conversions
+//   - interface boxing of non-pointer concrete arguments at call sites
+//   - variadic calls without a ... spread (the argument slice allocates)
+//   - go statements (a goroutine allocates its stack)
+//   - calls into allocation-happy stdlib packages (fmt, errors, strings,
+//     strconv, sort, bytes, regexp, os, io, bufio, log)
+//
+// Escalation points that intentionally allocate (worker-pool spin-up,
+// simulation fallbacks) are fenced off with a
+//
+//	//paracosm:allocs <reason>
+//
+// doc directive: the traversal treats them as audited boundaries and does
+// not descend. Cold paths inside hot functions (error formatting, panics)
+// use the ordinary //lint:ignore noalloc <reason> escape on the offending
+// line. Dynamic calls (interface methods, function values) cannot be seen
+// statically and are trusted to the runtime guards.
+type NoAlloc struct{}
+
+func (NoAlloc) Name() string { return "noalloc" }
+
+// allocDenylist are stdlib packages whose exported API allocates on
+// essentially every call.
+var allocDenylist = map[string]bool{
+	"fmt": true, "errors": true, "strings": true, "strconv": true,
+	"sort": true, "bytes": true, "regexp": true, "os": true,
+	"io": true, "bufio": true, "log": true,
+}
+
+// funcDirective reports whether fd's doc comment carries the given
+// //paracosm: directive. Directive comments are excluded from
+// CommentGroup.Text, so the raw list is scanned.
+func funcDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func (NoAlloc) Check(pkgs []*Package) []Diagnostic {
+	ix := declIndex(pkgs)
+
+	type workItem struct {
+		site declSite
+		root string
+	}
+	var queue []workItem
+	for _, p := range pkgs {
+		for _, fd := range funcDecls(p) {
+			if funcDirective(fd, "//paracosm:noalloc") {
+				queue = append(queue, workItem{site: declSite{pkg: p, decl: fd}, root: fd.Name.Name})
+			}
+		}
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	reported := map[token.Pos]bool{}
+	var out []Diagnostic
+	emit := func(p *Package, pos token.Pos, fn, root, desc string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		out = append(out, diagAt(p, pos, "noalloc", fmt.Sprintf(
+			"%s in %s (reachable from //paracosm:noalloc root %s)", desc, fn, root)))
+	}
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		fd := item.site.decl
+		if visited[fd] {
+			continue
+		}
+		visited[fd] = true
+		p := item.site.pkg
+		fn := fd.Name.Name
+
+		allowedAppends := selfAppends(p, fd.Body)
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				emit(p, n.Pos(), fn, item.root, "function literal allocates a closure")
+				return false
+			case *ast.GoStmt:
+				emit(p, n.Pos(), fn, item.root, "go statement allocates a goroutine")
+				return true
+			case *ast.CompositeLit:
+				if t := typeOf(p.Info, n); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice:
+						emit(p, n.Pos(), fn, item.root, "slice literal allocates")
+					case *types.Map:
+						emit(p, n.Pos(), fn, item.root, "map literal allocates")
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isStringType(typeOf(p.Info, n.X)) {
+					emit(p, n.Pos(), fn, item.root, "string concatenation allocates")
+				}
+			case *ast.CallExpr:
+				if desc := checkCall(p, n, allowedAppends); desc != "" {
+					emit(p, n.Pos(), fn, item.root, desc)
+					return true
+				}
+				if site, ok := calleeDecl(p, n, ix); ok {
+					if funcDirective(site.decl, "//paracosm:allocs") {
+						return true // audited allocation boundary
+					}
+					if !visited[site.decl] {
+						queue = append(queue, workItem{site: site, root: item.root})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// selfAppends collects append call expressions in the sanctioned amortized
+// forms `x = append(x, ...)` and `x = append(x[:k], ...)` (including
+// indexed targets like g.byLabel[l]), plus the in-place compaction idiom
+// `append(a[:i], a[j:]...)` whose result can never exceed a's capacity.
+func selfAppends(p *Package, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	allowed := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isCompaction(p, call) {
+			allowed[call] = true
+			return true
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call.Fun, "append") || len(call.Args) == 0 {
+				continue
+			}
+			lhs := renderExt(as.Lhs[i])
+			if lhs == "" {
+				continue
+			}
+			arg0 := call.Args[0]
+			if se, isSlice := arg0.(*ast.SliceExpr); isSlice {
+				arg0 = se.X
+			}
+			if renderExt(arg0) == lhs {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// isCompaction reports whether call is `append(x[:i], x[j:]...)` — element
+// removal compacting within one backing array, which cannot grow it.
+func isCompaction(p *Package, call *ast.CallExpr) bool {
+	if !isBuiltin(p, call.Fun, "append") || len(call.Args) != 2 || call.Ellipsis == token.NoPos {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	src, ok := call.Args[1].(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	base := renderExt(dst.X)
+	return base != "" && base == renderExt(src.X)
+}
+
+// isBuiltin reports whether e resolves to the named predeclared builtin.
+func isBuiltin(p *Package, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := p.Info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// checkCall classifies one call expression; it returns a non-empty
+// description when the call itself allocates.
+func checkCall(p *Package, call *ast.CallExpr, allowedAppends map[*ast.CallExpr]bool) string {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				return "make allocates"
+			case "new":
+				return "new allocates"
+			case "append":
+				if !allowedAppends[call] {
+					return "append to a fresh slice allocates; use x = append(x, ...) or x = append(x[:k], ...)"
+				}
+			}
+			return ""
+		}
+	}
+
+	// Conversions: only the string↔[]byte/[]rune pairs copy.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return ""
+		}
+		dst, src := tv.Type, typeOf(p.Info, call.Args[0])
+		if src == nil {
+			return ""
+		}
+		if isStringType(dst) && isByteOrRuneSlice(src) {
+			return "[]byte/[]rune→string conversion allocates"
+		}
+		if isByteOrRuneSlice(dst) && isStringType(src) {
+			return "string→[]byte/[]rune conversion allocates"
+		}
+		return ""
+	}
+
+	// Denylisted stdlib packages.
+	var callee types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		callee = p.Info.Uses[fun.Sel]
+	}
+	if f, ok := callee.(*types.Func); ok && f.Pkg() != nil && allocDenylist[f.Pkg().Path()] {
+		return "call into " + f.Pkg().Path() + " allocates"
+	}
+
+	// Signature-driven checks: variadic boxing and interface boxing.
+	sig, _ := typeOf(p.Info, call.Fun).(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		return "variadic call without ... allocates the argument slice"
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= np-1 {
+			if s, ok := sig.Params().At(np - 1).Type().Underlying().(*types.Slice); ok && call.Ellipsis == token.NoPos {
+				pt = s.Elem()
+			} else if call.Ellipsis != token.NoPos {
+				continue
+			}
+		} else if i < np {
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := typeOf(p.Info, arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if tv, ok := p.Info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // a pointer fits the interface data word: no allocation
+		}
+		return "interface boxing of a non-pointer value allocates"
+	}
+	return ""
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the shared interprocedural machinery of the v2 analyzers:
+// a module-wide function-declaration index (so call sites resolve to bodies
+// across package boundaries — type objects are shared through the loader's
+// import cache) and position-ordered lock regions (so lifetime checks like
+// lockescape and waitgroup's Add-under-mutex rule can ask "is this statement
+// between Lock and Unlock?" rather than only "does this function ever
+// lock?").
+
+// declSite pairs a function declaration with the package it was loaded in,
+// so analyzers can resolve positions and type info for cross-package
+// callees.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// declIndex maps every function/method object defined in the loaded
+// packages to its declaration.
+func declIndex(pkgs []*Package) map[types.Object]declSite {
+	ix := map[types.Object]declSite{}
+	for _, p := range pkgs {
+		for _, fd := range funcDecls(p) {
+			if o := p.Info.Defs[fd.Name]; o != nil {
+				ix[o] = declSite{pkg: p, decl: fd}
+			}
+		}
+	}
+	return ix
+}
+
+// calleeDecl resolves a call expression to a function declaration in the
+// loaded module, or nil for builtins, external packages, and dynamic calls
+// (interface methods, function values).
+func calleeDecl(p *Package, call *ast.CallExpr, ix map[types.Object]declSite) (declSite, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return declSite{}, false
+	}
+	site, ok := ix[obj]
+	return site, ok
+}
+
+// lockRegion is one held interval of a mutex within a function body: the
+// position range between a Lock/RLock call and the matching Unlock/RUnlock
+// (or the end of the body for deferred unlocks). The mutex is identified by
+// its rendered path ("s.mu", "p.statsMu", bare "cacheMu").
+type lockRegion struct {
+	mu       string
+	from, to token.Pos
+}
+
+// contains reports whether pos falls inside the region.
+func (r lockRegion) contains(pos token.Pos) bool {
+	return r.from <= pos && pos <= r.to
+}
+
+// lockEvent is a Lock/Unlock call in source order.
+type lockEvent struct {
+	pos      token.Pos
+	mu       string
+	unlock   bool
+	deferred bool
+}
+
+// lockRegions computes the position-ordered held regions for every mutex
+// path in body. The model is syntactic, not a CFG: a region opens at a
+// Lock/RLock call and closes at the next Unlock/RUnlock on the same path.
+// Two refinements keep it faithful to the repo's idioms:
+//
+//   - `defer mu.Unlock()` holds to the end of the body;
+//
+//   - an Unlock whose innermost enclosing block ends in a terminating
+//     statement (return/break/continue/goto/panic) does not close the
+//     fall-through region — it is an early-exit release on a path that
+//     leaves the region anyway, as in
+//
+//     if done { mu.Unlock(); return }   // region continues below
+//
+//     The function body itself is exempt from this refinement so that a
+//     top-level `mu.Unlock(); return x` really does end the region before
+//     the return.
+func lockRegions(p *Package, body *ast.BlockStmt) []lockRegion {
+	var events []lockEvent
+	collect := func(n ast.Node, deferred bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		var unlock bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			unlock = false
+		case "Unlock", "RUnlock":
+			unlock = true
+		default:
+			return
+		}
+		if !isMutex(typeOf(p.Info, sel.X)) {
+			return
+		}
+		mu := render(sel.X)
+		if mu == "" {
+			return
+		}
+		events = append(events, lockEvent{pos: call.Pos(), mu: mu, unlock: unlock, deferred: deferred})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			collect(n.Call, true)
+			return false // the deferred call's children hold no further lock calls
+		case *ast.CallExpr:
+			collect(n, false)
+		}
+		return true
+	})
+
+	// Innermost-block lookup for the early-exit refinement.
+	blocks := enclosedBlocks(body)
+
+	var regions []lockRegion
+	open := map[string]token.Pos{} // mu → region start
+	for _, ev := range events {
+		switch {
+		case !ev.unlock:
+			if _, held := open[ev.mu]; !held {
+				open[ev.mu] = ev.pos
+			}
+		case ev.deferred:
+			// defer mu.Unlock(): the mutex stays held to the end of the
+			// body; nothing to close now.
+		default:
+			if innermostTerminates(blocks, body, ev.pos) {
+				continue // early-exit release; fall-through path stays locked
+			}
+			if from, held := open[ev.mu]; held {
+				regions = append(regions, lockRegion{mu: ev.mu, from: from, to: ev.pos})
+				delete(open, ev.mu)
+			}
+		}
+	}
+	for mu, from := range open {
+		regions = append(regions, lockRegion{mu: mu, from: from, to: body.End()})
+	}
+	return regions
+}
+
+// enclosedBlocks lists every block-like statement list nested in body
+// (including body itself) with its position range.
+func enclosedBlocks(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			out = append(out, b)
+		}
+		return true
+	})
+	return out
+}
+
+// innermostTerminates reports whether the smallest block containing pos —
+// other than the function body itself — ends in a terminating statement.
+func innermostTerminates(blocks []*ast.BlockStmt, body *ast.BlockStmt, pos token.Pos) bool {
+	var inner *ast.BlockStmt
+	for _, b := range blocks {
+		if b.Pos() <= pos && pos <= b.End() {
+			if inner == nil || (b.Pos() >= inner.Pos() && b.End() <= inner.End()) {
+				inner = b
+			}
+		}
+	}
+	if inner == nil || inner == body || len(inner.List) == 0 {
+		return false
+	}
+	return terminating(inner.List[len(inner.List)-1])
+}
+
+// terminating reports whether s unconditionally leaves the enclosing block.
+func terminating(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// heldAt reports whether a region for mu covers pos.
+func heldAt(regions []lockRegion, mu string, pos token.Pos) bool {
+	for _, r := range regions {
+		if r.mu == mu && r.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// renderExt is render extended with single-level index expressions whose
+// index is itself renderable or a basic literal ("g.byLabel[l]",
+// "m.tab[0]"). It exists so self-append detection can match indexed
+// assignment targets; like render it returns "" for anything dynamic.
+func renderExt(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		x := renderExt(e.X)
+		if x == "" {
+			return ""
+		}
+		switch ix := e.Index.(type) {
+		case *ast.BasicLit:
+			return x + "[" + ix.Value + "]"
+		default:
+			if i := render(e.Index); i != "" {
+				return x + "[" + i + "]"
+			}
+		}
+		return ""
+	default:
+		return render(e)
+	}
+}

@@ -1,0 +1,66 @@
+// Package chandrop exercises the drop-and-count policy: a try-send select
+// (send case + default) must be annotated with the counter its default arm
+// increments.
+package chandrop
+
+import "sync/atomic"
+
+type conn struct {
+	out     chan int
+	dropped uint64
+	adrop   atomic.Uint64
+}
+
+// Unannotated try-send: the default arm silently loses the value.
+func (c *conn) offerBad(v int) {
+	select { // want chandrop
+	case c.out <- v:
+	default:
+	}
+}
+
+// Annotated, and the default arm really does count.
+func (c *conn) offerGood(v int) {
+	select { // drop-counted by dropped
+	case c.out <- v:
+	default:
+		c.dropped++
+	}
+}
+
+// Annotation on the line above the select, atomic .Add increment form.
+func (c *conn) offerAtomic(v int) {
+	// drop-counted by adrop
+	select {
+	case c.out <- v:
+	default:
+		c.adrop.Add(1)
+	}
+}
+
+// The annotation names a counter the default arm never touches.
+func (c *conn) offerLying(v int) {
+	select { // drop-counted by dropped // want chandrop
+	case c.out <- v:
+	default:
+	}
+}
+
+// Receive-with-default consumes nothing when it misses: not a drop site.
+func (c *conn) poll() (int, bool) {
+	select {
+	case v := <-c.out:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Intentional fire-and-forget, waived explicitly.
+func (c *conn) wake() {
+	//lint:ignore chandrop best-effort wakeup: the receiver coalesces ticks
+	select {
+	case c.out <- 0:
+	default:
+	}
+}

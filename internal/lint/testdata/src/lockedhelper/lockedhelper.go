@@ -1,0 +1,69 @@
+// Package lockedhelper exercises lockguard v2: the *Locked helper
+// convention licenses the helper body and obliges every caller to hold the
+// guard, transitively through helper-to-helper calls.
+package lockedhelper
+
+import "sync"
+
+type reg struct {
+	mu    sync.Mutex
+	items []int // guarded by mu
+}
+
+// sumLocked's body is licensed: guarded accesses here become an obligation
+// on the callers instead of a finding.
+func (r *reg) sumLocked() int {
+	t := 0
+	for _, v := range r.items {
+		t += v
+	}
+	return t
+}
+
+// doubleLocked inherits sumLocked's obligation without touching guarded
+// state itself.
+func (r *reg) doubleLocked() int { return r.sumLocked() * 2 }
+
+// noopLocked has no obligations: callers need not hold anything.
+func (r *reg) noopLocked() int { return 42 }
+
+func (r *reg) Sum() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sumLocked()
+}
+
+func (r *reg) SumBare() int {
+	return r.sumLocked() // want lockguard
+}
+
+func (r *reg) DoubleBare() int {
+	return r.doubleLocked() // want lockguard
+}
+
+func (r *reg) DoubleHeld() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.doubleLocked()
+}
+
+func (r *reg) NoopBare() int {
+	return r.noopLocked()
+}
+
+// LockedSum has the prefix, not the suffix: it is a self-locking wrapper,
+// not a helper, and callers owe it nothing.
+func (r *reg) LockedSum() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sumLocked()
+}
+
+func callPrefixForm(r *reg) int {
+	return r.LockedSum()
+}
+
+// Direct guarded access outside any helper still fires the v1 rule.
+func peek(r *reg) int {
+	return len(r.items) // want lockguard
+}

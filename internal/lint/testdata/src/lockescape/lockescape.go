@@ -1,0 +1,93 @@
+// Package lockescape exercises the guarded-alias escape check: reference
+// values read under a mutex must not be ranged, indexed, or returned after
+// the region ends — the PR-5 fanout bug shape.
+package lockescape
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	subs map[string][]chan int // guarded by mu
+	buf  []int                 // guarded by mu
+}
+
+// The fanout bug: an alias of the guarded slice is ranged after Unlock.
+func (h *hub) fanoutBad(q string) {
+	h.mu.Lock()
+	subs := h.subs[q]
+	h.mu.Unlock()
+	for _, c := range subs { // want lockescape
+		c <- 1
+	}
+}
+
+// The fix: snapshot under the lock, range the copy.
+func (h *hub) fanoutGood(q string) {
+	h.mu.Lock()
+	subs := append([]chan int(nil), h.subs[q]...)
+	h.mu.Unlock()
+	for _, c := range subs {
+		c <- 1
+	}
+}
+
+func (h *hub) rangeBad() int {
+	h.mu.Lock()
+	t := len(h.buf)
+	h.mu.Unlock()
+	for _, v := range h.buf { // want lockescape
+		t += v
+	}
+	return t
+}
+
+func (h *hub) indexBad(i int) int {
+	h.mu.Lock()
+	h.mu.Unlock()
+	return h.buf[i] // want lockescape
+}
+
+// Returning the guarded slice hands the reference past the unlock even
+// when the return itself runs under a deferred Unlock.
+func (h *hub) snapshotBad() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buf // want lockescape
+}
+
+func (h *hub) snapshotGood() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.buf...)
+}
+
+// The worker-pool shape: an early-exit Unlock inside a terminating block
+// does not end the fall-through region.
+func (h *hub) workerShape() int {
+	for {
+		h.mu.Lock()
+		if len(h.buf) == 0 {
+			h.mu.Unlock()
+			return 0
+		}
+		v := h.buf[0]
+		h.buf = h.buf[:len(h.buf)-1]
+		h.mu.Unlock()
+		_ = v
+	}
+}
+
+// Swap-and-steal is sound — the old value has no other referent — and says
+// so with the escape hatch.
+func (h *hub) stealOK() int {
+	h.mu.Lock()
+	buf := h.buf
+	h.buf = nil
+	h.mu.Unlock()
+	t := 0
+	//lint:ignore lockescape buf was swapped out under the lock; this is the sole reference
+	for _, v := range buf {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+// Package noalloc exercises the transitive zero-allocation prover: every
+// construct the analyzer flags, the amortized append forms it permits, the
+// //paracosm:allocs boundary, and the //lint:ignore cold-path escape.
+package noalloc
+
+import "fmt"
+
+type buf struct {
+	data []int
+}
+
+//paracosm:noalloc
+func (b *buf) push(v int) {
+	b.data = append(b.data, v)
+}
+
+// In-place compaction reuses the backing array and cannot grow it.
+//
+//paracosm:noalloc
+func (b *buf) remove(i int) {
+	b.data = append(b.data[:i], b.data[i+1:]...)
+}
+
+// Slice-reuse append resets length, then refills within capacity.
+//
+//paracosm:noalloc
+func (b *buf) refill(src []int) {
+	b.data = append(b.data[:0], src...)
+}
+
+//paracosm:noalloc
+func grow() []int {
+	return make([]int, 8) // want noalloc
+}
+
+//paracosm:noalloc
+func lits() {
+	_ = []int{1, 2}        // want noalloc
+	_ = map[string]int{}   // want noalloc
+	_ = struct{ n int }{1} // struct literals live on the stack: not flagged
+}
+
+//paracosm:noalloc
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want noalloc
+}
+
+func sum(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+//paracosm:noalloc
+func callVariadic() int {
+	return sum(1, 2, 3) // want noalloc
+}
+
+//paracosm:noalloc
+func spreadVariadic(vs []int) int {
+	return sum(vs...)
+}
+
+func eat(v interface{}) {}
+
+//paracosm:noalloc
+func box(b *buf) {
+	eat(42) // want noalloc
+	eat(b)  // a pointer fits the interface word: not flagged
+}
+
+//paracosm:noalloc
+func concat(a, b string) string {
+	return a + b // want noalloc
+}
+
+//paracosm:noalloc
+func convert(s string) []byte {
+	return []byte(s) // want noalloc
+}
+
+//paracosm:noalloc
+func appendCopy(src []int) []int {
+	return append(src, 1) // want noalloc
+}
+
+//paracosm:noalloc
+func capture(n int) func() int {
+	return func() int { return n } // want noalloc
+}
+
+func noop() {}
+
+//paracosm:noalloc
+func spawn() {
+	go noop() // want noalloc
+}
+
+// The violation sits two calls deep: the diagnostic lands at the make and
+// names the root.
+func fresh() []int {
+	return make([]int, 4) // want noalloc
+}
+
+func viaFresh() []int { return fresh() }
+
+//paracosm:noalloc
+func callsFresh() []int {
+	return viaFresh()
+}
+
+// spinUp intentionally allocates; the directive fences it off as an
+// audited boundary and the traversal does not descend.
+//
+//paracosm:allocs one-time pool spin-up
+func spinUp() []int {
+	return make([]int, 1024)
+}
+
+//paracosm:noalloc
+func escalate() []int {
+	return spinUp()
+}
+
+// Dynamic calls cannot be resolved statically; they are trusted to the
+// runtime allocation guards.
+//
+//paracosm:noalloc
+func dynamic(f func() int) int {
+	return f()
+}
+
+//paracosm:noalloc
+func hot(ok bool) error {
+	if !ok {
+		//lint:ignore noalloc cold error path: formatting is off the contract
+		return fmt.Errorf("bad")
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package staleignore exercises strict-ignore mode: a directive naming an
+// unknown check and a directive that suppresses nothing are both findings
+// under -strict-ignores, and both are silent under a plain run.
+package staleignore
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// The access is properly locked, so this directive suppresses nothing:
+// strict mode flags it as stale.
+func (b *box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore lockguard pretend this access used to be unlocked
+	return b.n
+}
+
+// No analyzer is named "nosuchcheck": strict mode flags the directive.
+func (b *box) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore nosuchcheck there is no analyzer by this name
+	b.n++
+}

@@ -1,0 +1,107 @@
+// Package waitgroup exercises the Add/Done/Wait discipline checks: Add
+// before go, deferred Done under early returns, and the cross-function
+// Add/Wait serialization annotation.
+package waitgroup
+
+import "sync"
+
+// Rule 1: a goroutine that Adds itself to the group that joins it races
+// Wait.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want waitgroup
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// The sanctioned shape: Add before the go statement.
+func addBefore() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Rule 2: a plain Done after a conditional return is skipped on the early
+// path and Wait hangs.
+func earlyReturn(wg *sync.WaitGroup, ok bool) {
+	if !ok {
+		return
+	}
+	wg.Done() // want waitgroup
+}
+
+// No early return at this level: a plain Done is fine.
+func doneNoReturn(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+// Rule 3: field Add-ed in one method, Wait-ed in another, with no
+// serialization annotation on the field.
+type svc struct {
+	mu sync.Mutex
+	wg sync.WaitGroup // want waitgroup
+}
+
+func (s *svc) start() {
+	s.wg.Add(1)
+	go func() { defer s.wg.Done() }()
+}
+
+func (s *svc) stop() {
+	s.wg.Wait()
+}
+
+// The annotation names a sibling mutex: every Add site is verified to sit
+// inside that mutex's region.
+type svcOK struct {
+	mu sync.Mutex
+	wg sync.WaitGroup // Add serialized by mu
+}
+
+func (s *svcOK) start() {
+	s.mu.Lock()
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() { defer s.wg.Done() }()
+}
+
+func (s *svcOK) stop() {
+	s.wg.Wait()
+}
+
+// Annotated "Add serialized by mu", but one Add site runs outside the mu
+// region: the annotation is a lie and the verifier says so.
+type svcBad struct {
+	mu sync.Mutex
+	wg sync.WaitGroup // Add serialized by mu
+}
+
+func (s *svcBad) start() {
+	s.wg.Add(1) // want waitgroup
+	go func() { defer s.wg.Done() }()
+}
+
+func (s *svcBad) stop() {
+	s.wg.Wait()
+}
+
+// A non-mutex token is a trusted, documented assertion.
+type svcDoc struct {
+	wg sync.WaitGroup // Add serialized by construction
+}
+
+func newSvcDoc() *svcDoc {
+	s := &svcDoc{}
+	s.wg.Add(1)
+	go func() { defer s.wg.Done() }()
+	return s
+}
+
+func (s *svcDoc) stop() {
+	s.wg.Wait()
+}

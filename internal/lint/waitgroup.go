@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// WaitGroupCheck enforces sync.WaitGroup Add/Done/Wait discipline, the
+// contract behind the serving layer's connWG shutdown shape:
+//
+//  1. Add must happen before `go`, not inside the spawned goroutine: a
+//     goroutine that Adds itself to the group that joins it races Wait —
+//     Wait can observe the counter before the goroutine has run. Detected
+//     when a go'd body both Adds and Dones the same WaitGroup path at its
+//     own nesting level.
+//
+//  2. Done must be deferred in any function with an early-return path: a
+//     plain wg.Done() after a conditional return is skipped on that path
+//     and Wait hangs forever.
+//
+//  3. When a struct-field WaitGroup is Add-ed in one function and Wait-ed
+//     in another, the Add/Wait race window is real (the PR-5 connWG bug:
+//     Add racing a concurrent Wait during shutdown). The field must carry a
+//     "// Add serialized by <x>" annotation. If <x> names a sibling mutex
+//     field, every Add site is verified to sit inside that mutex's lock
+//     region; any other token ("construction", a method name) is a trusted,
+//     documented assertion.
+type WaitGroupCheck struct{}
+
+func (WaitGroupCheck) Name() string { return "waitgroup" }
+
+var serializedRe = regexp.MustCompile(`Add serialized by\s+([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// wgField is one sync.WaitGroup struct field with its annotation and the
+// mutex fields declared alongside it.
+type wgField struct {
+	pkg     *Package
+	pos     ast.Node
+	name    string
+	ann     string // "" when unannotated
+	mutexes map[string]bool
+}
+
+// wgSite is one Add/Wait call on a WaitGroup struct field.
+type wgSite struct {
+	pkg  *Package
+	fd   *ast.FuncDecl
+	call *ast.CallExpr
+	base string // receiver chain of the field access ("s" for s.connWG.Add)
+}
+
+func (WaitGroupCheck) Check(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+
+	// Index WaitGroup struct fields with their annotations and sibling
+	// mutexes (for rule 3).
+	fields := map[types.Object]*wgField{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				mutexes := map[string]bool{}
+				for _, fld := range st.Fields.List {
+					if len(fld.Names) == 0 {
+						continue
+					}
+					if o := p.Info.Defs[fld.Names[0]]; o != nil && isMutex(o.Type()) {
+						for _, nm := range fld.Names {
+							mutexes[nm.Name] = true
+						}
+					}
+				}
+				for _, fld := range st.Fields.List {
+					for _, nm := range fld.Names {
+						o := p.Info.Defs[nm]
+						if o == nil || !isWaitGroup(o.Type()) {
+							continue
+						}
+						wf := &wgField{pkg: p, pos: nm, name: nm.Name, mutexes: mutexes}
+						for _, g := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+							if g == nil {
+								continue
+							}
+							if m := serializedRe.FindStringSubmatch(g.Text()); m != nil {
+								wf.ann = m[1]
+							}
+						}
+						fields[o] = wf
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	adds := map[types.Object][]wgSite{}
+	waits := map[types.Object][]wgSite{}
+	seenAddInGo := map[string]bool{} // dedupe: a method go'd from several sites
+
+	for _, p := range pkgs {
+		decls := map[types.Object]*ast.FuncDecl{}
+		for _, fd := range funcDecls(p) {
+			if o := p.Info.Defs[fd.Name]; o != nil {
+				decls[o] = fd
+			}
+		}
+		for _, fd := range funcDecls(p) {
+			// Rule 1: Add inside the goroutine it joins.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var body *ast.BlockStmt
+				switch fun := g.Call.Fun.(type) {
+				case *ast.FuncLit:
+					body = fun.Body
+				case *ast.Ident:
+					if d := decls[p.Info.Uses[fun]]; d != nil {
+						body = d.Body
+					}
+				case *ast.SelectorExpr:
+					if d := decls[p.Info.Uses[fun.Sel]]; d != nil {
+						body = d.Body
+					}
+				}
+				if body != nil {
+					for _, d := range addInsideGoroutine(p, body) {
+						key := d.Pos.String()
+						if !seenAddInGo[key] {
+							seenAddInGo[key] = true
+							out = append(out, d)
+						}
+					}
+				}
+				return true
+			})
+
+			// Rule 2: non-deferred Done with early returns, checked per
+			// nesting level (the function body and each literal's body).
+			out = append(out, nonDeferredDone(p, fd.Name.Name, fd.Body)...)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, nonDeferredDone(p, fd.Name.Name+" literal", lit.Body)...)
+				}
+				return true
+			})
+
+			// Rule 3 site collection: Add/Wait on struct fields.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Wait") {
+					return true
+				}
+				if !isWaitGroup(typeOf(p.Info, sel.X)) {
+					return true
+				}
+				fsel, ok := sel.X.(*ast.SelectorExpr)
+				if !ok {
+					return true // local or package-level wg: same-scope join
+				}
+				obj := fieldObj(p.Info, fsel)
+				if obj == nil || fields[types.Object(obj)] == nil {
+					return true
+				}
+				site := wgSite{pkg: p, fd: fd, call: call, base: render(fsel.X)}
+				if sel.Sel.Name == "Add" {
+					adds[obj] = append(adds[obj], site)
+				} else {
+					waits[obj] = append(waits[obj], site)
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 3: cross-function Add/Wait needs the serialization annotation.
+	for obj, wf := range fields {
+		as, ws := adds[obj], waits[obj]
+		if len(as) == 0 || len(ws) == 0 {
+			continue
+		}
+		cross := false
+		for _, a := range as {
+			for _, w := range ws {
+				if a.fd != w.fd {
+					cross = true
+				}
+			}
+		}
+		if !cross {
+			continue
+		}
+		if wf.ann == "" {
+			out = append(out, diagAt(wf.pkg, wf.pos.Pos(), "waitgroup", fmt.Sprintf(
+				"%s.Add (%s) and Wait (%s) happen in different functions: annotate the field "+
+					"\"// Add serialized by <mutex or mechanism>\" once the race window is closed",
+				wf.name, as[0].fd.Name.Name, ws[0].fd.Name.Name)))
+			continue
+		}
+		if wf.mutexes[wf.ann] {
+			// The annotation names a sibling mutex: prove every Add site
+			// sits inside that mutex's lock region.
+			for _, a := range as {
+				want := wf.ann
+				if a.base != "" {
+					want = a.base + "." + wf.ann
+				}
+				regions := lockRegions(a.pkg, a.fd.Body)
+				if !heldAt(regions, want, a.call.Pos()) {
+					out = append(out, diagAt(a.pkg, a.call.Pos(), "waitgroup", fmt.Sprintf(
+						"%s.Add outside the %s region in %s, but the field says \"Add serialized by %s\"",
+						wf.name, want, a.fd.Name.Name, wf.ann)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// addInsideGoroutine reports Add calls in a go'd body whose WaitGroup is
+// also Done-d at the same nesting level — the goroutine is adding itself to
+// the group that joins it.
+func addInsideGoroutine(p *Package, body *ast.BlockStmt) []Diagnostic {
+	type site struct {
+		pos  ast.Node
+		path string
+	}
+	var addSites []site
+	dones := map[string]bool{}
+	walkSameLevel(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if sel.Sel.Name != "Add" && sel.Sel.Name != "Done" {
+			return
+		}
+		if !isWaitGroup(typeOf(p.Info, sel.X)) {
+			return
+		}
+		path := render(sel.X)
+		if path == "" {
+			return
+		}
+		if sel.Sel.Name == "Add" {
+			addSites = append(addSites, site{pos: call, path: path})
+		} else {
+			dones[path] = true
+		}
+	})
+	var out []Diagnostic
+	for _, a := range addSites {
+		if dones[a.path] {
+			out = append(out, diagAt(p, a.pos.Pos(), "waitgroup", fmt.Sprintf(
+				"%s.Add inside the goroutine it joins: Wait can run before this executes — Add before the go statement",
+				a.path)))
+		}
+	}
+	return out
+}
+
+// nonDeferredDone reports plain (non-deferred) wg.Done() calls in a body
+// that also has return statements at the same nesting level: any return
+// before the Done skips it and Wait hangs.
+func nonDeferredDone(p *Package, where string, body *ast.BlockStmt) []Diagnostic {
+	hasReturn := false
+	var plainDones []*ast.CallExpr
+	walkSameLevel(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			hasReturn = true
+		case *ast.DeferStmt:
+			// deferred Done is the sanctioned form; also don't let the
+			// nested CallExpr below see it.
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" {
+				return
+			}
+			if !isWaitGroup(typeOf(p.Info, sel.X)) {
+				return
+			}
+			plainDones = append(plainDones, call)
+		}
+	})
+	if !hasReturn {
+		return nil
+	}
+	var out []Diagnostic
+	for _, call := range plainDones {
+		out = append(out, diagAt(p, call.Pos(), "waitgroup", fmt.Sprintf(
+			"wg.Done may be skipped by an early return in %s: defer it", where)))
+	}
+	return out
+}
+
+// walkSameLevel visits every node in body except those inside nested
+// function literals, which run in a different goroutine/activation.
+func walkSameLevel(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

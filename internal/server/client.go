@@ -118,7 +118,7 @@ func (c *Client) readLoop() {
 				Seq:     f.Seq,
 				Dropped: f.Dropped,
 			}
-			select {
+			select { // drop-counted by dropped
 			case c.deltas <- d:
 			default:
 				// Drop-and-count, never block: this loop also resolves
@@ -149,6 +149,7 @@ func (c *Client) fail(err error) {
 	pend := c.pending
 	c.pending = make(map[uint64]chan *Frame)
 	c.mu.Unlock()
+	//lint:ignore lockescape pend was swapped out of c.pending under the lock; this loop holds the sole reference
 	for _, ch := range pend {
 		close(ch)
 	}

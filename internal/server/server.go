@@ -118,8 +118,8 @@ type Server struct {
 
 	ctx    context.Context // cancelled by Close: stops intake, starts drain
 	cancel context.CancelFunc
-	wg     sync.WaitGroup // joins acceptLoop + ingestLoop
-	connWG sync.WaitGroup // joins per-connection readers/writers; Add under mu
+	wg     sync.WaitGroup // joins acceptLoop + ingestLoop; Add serialized by Start (both Adds precede serving)
+	connWG sync.WaitGroup // joins per-connection readers/writers; Add serialized by mu (Wait only runs once closing bars new Adds)
 
 	ingest chan ingestMsg
 
@@ -182,7 +182,7 @@ func (cn *conn) offerDelta(f *Frame) bool {
 	}
 	f.Seq = cn.seq + 1
 	f.Dropped = cn.dropped
-	select {
+	select { // drop-counted by dropped
 	case cn.out <- f:
 		cn.seq++
 		return true
@@ -521,7 +521,7 @@ func (s *Server) enqueue(cn *conn, upds stream.Stream) (int, error) {
 	for i, upd := range upds {
 		m := ingestMsg{upd: upd}
 		if s.cfg.Reject {
-			select {
+			select { // drop-counted by rejected
 			case s.ingest <- m:
 			default:
 				s.rejected.Add(uint64(len(upds) - i))

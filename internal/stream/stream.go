@@ -37,6 +37,7 @@ func (o Op) String() string {
 	case DeleteVertex:
 		return "-v"
 	}
+	//lint:ignore noalloc unknown-op fallback: every named op returns a constant above
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
@@ -76,20 +77,24 @@ func (u Update) Apply(g *graph.Graph) error {
 	switch u.Op {
 	case AddEdge:
 		if !g.AddEdge(u.U, u.V, u.ELabel) {
+			//lint:ignore noalloc malformed-stream path: error formatting is off the per-update contract
 			return fmt.Errorf("stream: +e %d %d: edge exists or self loop", u.U, u.V)
 		}
 	case DeleteEdge:
 		if !g.RemoveEdge(u.U, u.V) {
+			//lint:ignore noalloc malformed-stream path: error formatting is off the per-update contract
 			return fmt.Errorf("stream: -e %d %d: edge missing", u.U, u.V)
 		}
 	case AddVertex:
 		g.AddVertex(u.VLabel)
 	case DeleteVertex:
 		if !g.Alive(u.U) {
+			//lint:ignore noalloc malformed-stream path: error formatting is off the per-update contract
 			return fmt.Errorf("stream: -v %d: vertex missing", u.U)
 		}
 		g.DeleteVertex(u.U)
 	default:
+		//lint:ignore noalloc malformed-stream path: error formatting is off the per-update contract
 		return fmt.Errorf("stream: unknown op %d", u.Op)
 	}
 	return nil
