@@ -69,4 +69,22 @@ func main() {
 				"", n.Intersections, 100*n.GallopedFraction, 100*n.CandidateHitRate)
 		}
 	}
+
+	// Multi-query rows (schema 4): keyed by standing-query count.
+	oldMQ := make(map[int]bench.MultiQueryRecord, len(oldRep.MultiQuery))
+	for _, r := range oldRep.MultiQuery {
+		oldMQ[r.Queries] = r
+	}
+	for _, n := range newRep.MultiQuery {
+		key := fmt.Sprintf("multi/%s/%dq", n.Algo, n.Queries)
+		o, ok := oldMQ[n.Queries]
+		if !ok {
+			fmt.Printf("%-24s new record: %.0f reg/sec, %.0f bytes/query (clone %.1fx), %.1f updates/sec\n",
+				key, n.RegistrationsPerSec, n.BytesPerQuery, n.CloneOverQuery, n.UpdatesPerSec)
+			continue
+		}
+		fmt.Printf("%-24s bytes/query %9.0f -> %9.0f (%s)   updates/sec %9.1f -> %9.1f (%s)\n",
+			key, o.BytesPerQuery, n.BytesPerQuery, pct(o.BytesPerQuery, n.BytesPerQuery),
+			o.UpdatesPerSec, n.UpdatesPerSec, pct(o.UpdatesPerSec, n.UpdatesPerSec))
+	}
 }

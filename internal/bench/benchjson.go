@@ -57,6 +57,9 @@ type BenchReport struct {
 	Seed        int64         `json:"seed"`
 	StreamCap   int           `json:"stream_cap"`
 	Records     []BenchRecord `json:"records"`
+	// MultiQuery rows (schema 4) measure the shared-graph MultiEngine at
+	// increasing standing-query counts (see RunMultiBench).
+	MultiQuery []MultiQueryRecord `json:"multi_query,omitempty"`
 }
 
 // RunBenchJSON runs the Figure 7 microbenchmark — the full inner-update
@@ -81,7 +84,7 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 	}
 
 	report := BenchReport{
-		Schema:      3,
+		Schema:      4,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Threads:     threads,
@@ -148,6 +151,12 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 			CandidateHitRate: metrics.Fraction(kern.CandHits, kern.CandLookups),
 		})
 	}
+
+	mq, err := cfg.RunMultiBench()
+	if err != nil {
+		return err
+	}
+	report.MultiQuery = mq
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"paracosm/internal/algo"
+	"paracosm/internal/core"
+	"paracosm/internal/dataset"
+	"paracosm/internal/metrics"
+)
+
+// MultiQueryRecord is one standing-query-count row of the multi-query
+// benchmark: what the shared-graph MultiEngine costs per registered query
+// (memory and registration throughput) and what the lockstep driver
+// sustains with that many queries observing every update.
+type MultiQueryRecord struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	Queries int    `json:"queries"`
+
+	// Registration: RegisterLive throughput and the marginal heap cost of
+	// one standing query (index state only — measured via runtime.MemStats
+	// across the registration loop, after GC on both sides).
+	RegistrationsPerSec float64 `json:"registrations_per_sec"`
+	BytesPerQuery       float64 `json:"bytes_per_query"`
+
+	// CloneBytes is the heap cost of one private clone of the data graph:
+	// the per-query price of the pre-shared-graph design, so
+	// CloneBytes/BytesPerQuery is the memory win of graph sharing.
+	CloneBytes     uint64  `json:"clone_bytes"`
+	CloneOverQuery float64 `json:"clone_over_query"`
+
+	// Ingestion: lockstep updates/sec with Queries standing queries (every
+	// query observes every update).
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Matches       uint64  `json:"matches"`
+}
+
+// heapAlloc returns the live-heap size after a full collection.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RunMultiBench measures the shared-graph MultiEngine at 100 / 1 000 /
+// 10 000 standing queries over the Amazon stand-in: registrations/sec,
+// marginal bytes per standing query against the clone-per-query baseline,
+// and lockstep ingestion throughput. Appended to the BENCH_*.json report
+// by RunBenchJSON (schema 4).
+func (c Config) RunMultiBench() ([]MultiQueryRecord, error) {
+	c = c.Defaults()
+	d := c.data(dataset.AmazonSpec)
+	entry, err := algo.ByName("GraphFlow")
+	if err != nil {
+		return nil, err
+	}
+	// A small pool of distinct query graphs, cycled across registrations:
+	// each registration still builds its own index state, which is the
+	// per-query cost under measurement.
+	qpool, err := d.RandomQueries(4, 4)
+	if err != nil {
+		return nil, err
+	}
+	if len(qpool) == 0 {
+		return nil, fmt.Errorf("bench: no multi-query pool for %s", d.Name)
+	}
+
+	// The clone-per-query baseline: what ONE private copy of the data
+	// graph costs on the heap.
+	pre := heapAlloc()
+	clone := d.Graph.Clone()
+	cloneBytes := heapAlloc() - pre
+	runtime.KeepAlive(clone)
+
+	var out []MultiQueryRecord
+	for _, size := range []struct{ queries, updates int }{
+		{100, 200}, {1000, 100}, {10000, 30},
+	} {
+		m := core.NewMulti(core.Threads(c.Threads), core.Simulate(false))
+		if err := m.Init(d.Graph); err != nil {
+			return nil, err
+		}
+		before := heapAlloc()
+		t0 := time.Now()
+		for i := 0; i < size.queries; i++ {
+			q := qpool[i%len(qpool)]
+			if err := m.RegisterLive(fmt.Sprintf("q%d", i), entry.New(), q); err != nil {
+				m.Close()
+				return nil, err
+			}
+		}
+		regElapsed := time.Since(t0)
+		perQuery := float64(heapAlloc()-before) / float64(size.queries)
+
+		s := c.stream(d)
+		if len(s) > size.updates {
+			s = s[:size.updates]
+		}
+		t0 = time.Now()
+		applied, err := m.ProcessBatch(context.Background(), s)
+		ingestElapsed := time.Since(t0)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		total := m.TotalStats()
+		m.Close()
+
+		rec := MultiQueryRecord{
+			Dataset:             d.Name,
+			Algo:                entry.Name,
+			Queries:             size.queries,
+			RegistrationsPerSec: metrics.Rate(uint64(size.queries), regElapsed),
+			BytesPerQuery:       perQuery,
+			CloneBytes:          cloneBytes,
+			Updates:             applied,
+			UpdatesPerSec:       metrics.Rate(uint64(applied), ingestElapsed),
+			Matches:             total.Positive + total.Negative,
+		}
+		if perQuery > 0 {
+			rec.CloneOverQuery = float64(cloneBytes) / perQuery
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

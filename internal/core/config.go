@@ -191,6 +191,37 @@ func (s Stats) EscalationRate() float64 {
 	return float64(s.Escalations) / float64(s.Updates)
 }
 
+// Add accumulates o into s (counters summed, ThreadBusy merged
+// elementwise). MultiEngine uses it to retain the totals of deregistered
+// queries so serving-layer metrics stay monotonic across disconnects.
+func (s *Stats) Add(o Stats) {
+	s.Updates += o.Updates
+	s.Positive += o.Positive
+	s.Negative += o.Negative
+	s.Nodes += o.Nodes
+	s.TADS += o.TADS
+	s.TFind += o.TFind
+	s.TTotal += o.TTotal
+	s.Batches += o.Batches
+	s.SafeUpdates += o.SafeUpdates
+	s.UnsafeUpdates += o.UnsafeUpdates
+	s.Reclassified += o.Reclassified
+	s.SafeByLabel += o.SafeByLabel
+	s.SafeByDegree += o.SafeByDegree
+	s.SafeByADS += o.SafeByADS
+	s.VertexUpdates += o.VertexUpdates
+	s.Escalations += o.Escalations
+	s.Resplits += o.Resplits
+	s.Parks += o.Parks
+	s.Wakeups += o.Wakeups
+	for len(s.ThreadBusy) < len(o.ThreadBusy) {
+		s.ThreadBusy = append(s.ThreadBusy, 0)
+	}
+	for i, d := range o.ThreadBusy {
+		s.ThreadBusy[i] += d
+	}
+}
+
 // SafeRatio returns the fraction of updates classified safe (γ of the
 // speedup model).
 func (s Stats) SafeRatio() float64 {

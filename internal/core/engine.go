@@ -51,6 +51,12 @@ type Engine struct {
 	// started lazily on the first escalated update (see ensurePool) and
 	// released by Close. nil while no workers exist.
 	pool *concurrent.Pool[csm.State]
+
+	// shared carries one update's state between the two shared-graph
+	// phases (sharedPrepare/sharedCommit, see shared.go) when the engine
+	// is driven in lockstep by a MultiEngine. The driver serializes the
+	// phases per engine, so no lock is needed.
+	shared sharedPending
 }
 
 // New creates a ParaCOSM engine around algo.
@@ -205,7 +211,7 @@ func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classi
 		return d, fmt.Errorf("core: unknown op %v", upd.Op)
 	}
 
-	e.account(&d, seqBusy, t0)
+	e.account(&d, seqBusy, time.Since(t0))
 	if e.cfg.Tracer != nil {
 		total := time.Since(t0)
 		if simulate {
@@ -263,7 +269,11 @@ func (e *Engine) traceUpdate(upd stream.Update, cl classification, reclassified 
 	})
 }
 
-func (e *Engine) account(d *csm.Delta, seqBusy time.Duration, t0 time.Time) {
+// account accumulates one full-path update's delta into the stats.
+// elapsed is the caller-thread time actually spent on this update (the
+// shared-graph phases exclude fan-out barrier waits from it, so TTotal
+// stays comparable to the single-engine path).
+func (e *Engine) account(d *csm.Delta, seqBusy, elapsed time.Duration) {
 	e.statsMu.Lock()
 	e.stats.Updates++
 	e.stats.Positive += d.Positive
@@ -284,7 +294,7 @@ func (e *Engine) account(d *csm.Delta, seqBusy time.Duration, t0 time.Time) {
 		// wall-clock elapsed would double-count the sequential execution.
 		e.stats.TTotal += d.TADS + d.TFind
 	} else {
-		e.stats.TTotal += time.Since(t0)
+		e.stats.TTotal += elapsed
 	}
 	e.statsMu.Unlock()
 }

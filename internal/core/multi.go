@@ -2,8 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"paracosm/internal/csm"
 	"paracosm/internal/graph"
@@ -17,19 +21,28 @@ import (
 // batch-level parallelism of Mnemonic (Table 1), generalized so that each
 // query still benefits from the finer two levels internally.
 //
-// Each registered query owns an engine and a private copy of the data
-// graph, so queries share nothing and never contend; the stream is
-// broadcast. Two operating modes coexist:
+// All queries share ONE data graph; per-query state is index state only
+// (each algorithm's ADS plus engine scratch), so memory is
+// O(|G| + Σ index) instead of the O(queries × |G|) a clone-per-query
+// design costs, and registering a query is O(index build), not O(|G|)
+// copy. The stream is processed in lockstep: for each update every query
+// first runs its read-only pre-apply phase (classification, and expiring-
+// match enumeration for deletions), the update is applied to the shared
+// graph exactly once, then every query runs its post-apply phase (ADS
+// maintenance, new-match enumeration). The phases only read the graph, so
+// queries never contend beyond the two fan-out barriers per update. See
+// DESIGN.md §13 for the full contract.
+//
+// Two operating modes coexist:
 //
 //   - Batch: Register every query up front, Init, then Run the whole
 //     stream once (the CLI / bench path).
 //
 //   - Serving: Init (possibly with zero queries), then interleave
 //     ProcessBatch with RegisterLive/Deregister as long-lived clients
-//     come and go (the internal/server path). Init retains a private
-//     clone of the data graph that ProcessBatch keeps current, so a
-//     query registered mid-stream starts from the exact post-batch
-//     state.
+//     come and go (the internal/server path). The shared graph always
+//     holds the exact post-batch state (Run maintains it too), so a
+//     query registered mid-stream starts from the registration point.
 //
 // All exported methods are safe for concurrent use; Run and ProcessBatch
 // hold the engine lock for their whole duration, so registration changes
@@ -47,7 +60,10 @@ type MultiEngine struct {
 
 	mu      sync.Mutex
 	queries []*multiQuery // guarded by mu
-	base    *graph.Graph  // guarded by mu — current stream state, for RegisterLive clones
+	g       *graph.Graph  // guarded by mu — THE shared data graph (engines read it during fan-out, while mu is held by the driver)
+	undo    graph.UndoLog // guarded by mu — scratch journal for ProcessBatch's speculative validation
+	closed  Stats         // guarded by mu — retained tally of deregistered queries' Stats
+	closedN int           // guarded by mu — number of deregistered queries folded into closed
 }
 
 type multiQuery struct {
@@ -55,7 +71,6 @@ type multiQuery struct {
 	algo csm.Algorithm
 	q    *query.Graph
 	eng  *Engine
-	g    *graph.Graph
 	err  error
 }
 
@@ -85,58 +100,57 @@ func (m *MultiEngine) NumQueries() int {
 	return len(m.queries)
 }
 
-// Init builds every pre-registered query's engine over a private clone of
-// g, plus one more clone retained as the base state RegisterLive clones
-// from. Zero pre-registered queries is valid (the serving mode starts
-// empty and registers live).
+// Init clones g once into the engine's shared data graph (the caller's g
+// is never retained or mutated) and builds every pre-registered query's
+// index over it. Zero pre-registered queries is valid (the serving mode
+// starts empty and registers live).
 func (m *MultiEngine) Init(g *graph.Graph) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.base = g.Clone()
+	m.g = g.Clone()
 	for _, mq := range m.queries {
-		if err := m.initQueryLocked(mq, g); err != nil {
+		if err := m.initQueryLocked(mq); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// initQueryLocked builds mq's engine over a private clone of g.
-func (m *MultiEngine) initQueryLocked(mq *multiQuery, g *graph.Graph) error {
-	mq.g = g.Clone()
+// initQueryLocked builds mq's engine and index over the shared graph.
+func (m *MultiEngine) initQueryLocked(mq *multiQuery) error {
 	mq.eng = New(mq.algo)
 	mq.eng.cfg = m.cfg
 	if m.OnDelta != nil {
 		// One closure per query, built once at registration: tags the
-		// query name onto the engine-level callback. The engine invokes
-		// it from the goroutine driving that engine, so per-query calls
-		// are serialized.
+		// query name onto the engine-level callback. The driver serializes
+		// the shared phases per query, so per-query calls are serialized.
 		name := mq.name
 		mq.eng.cfg.OnDelta = func(upd stream.Update, d csm.Delta, timeout bool) {
 			m.OnDelta(name, upd, d, timeout)
 		}
 	}
-	if err := mq.eng.Init(mq.g, mq.q); err != nil {
+	if err := mq.eng.Init(m.g, mq.q); err != nil {
 		return fmt.Errorf("query %q: %w", mq.name, err)
 	}
 	return nil
 }
 
-// RegisterLive adds a query after Init: its engine is built over a clone
-// of the retained base graph, i.e. the state after every batch processed
-// so far, so the query's incremental results start exactly at the
-// registration point. Names must be unique among live queries.
+// RegisterLive adds a query after Init: its index is built over the shared
+// graph, i.e. the state after every update processed so far, so the
+// query's incremental results start exactly at the registration point.
+// The cost is one index build — no graph copy. Names must be unique among
+// live queries.
 func (m *MultiEngine) RegisterLive(name string, algo csm.Algorithm, q *query.Graph) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.base == nil {
+	if m.g == nil {
 		return fmt.Errorf("core: RegisterLive before Init")
 	}
 	if m.findLocked(name) != nil {
 		return fmt.Errorf("core: query %q already registered", name)
 	}
 	mq := &multiQuery{name: name, algo: algo, q: q}
-	if err := m.initQueryLocked(mq, m.base); err != nil {
+	if err := m.initQueryLocked(mq); err != nil {
 		return err
 	}
 	m.queries = append(m.queries, mq)
@@ -145,15 +159,20 @@ func (m *MultiEngine) RegisterLive(name string, algo csm.Algorithm, q *query.Gra
 
 // Deregister removes a query and closes its engine (joining its worker
 // pool), so the serving layer can drop a query when its owning connection
-// goes away without tearing down the engine. Idempotent: deregistering an
-// unknown name reports false and does nothing. The remaining queries are
-// untouched and processing continues normally.
+// goes away without tearing down the engine. The dropped query's
+// cumulative Stats are folded into the retained closed tally (see
+// ClosedStats), so aggregate totals stay monotonic across disconnects.
+// Idempotent: deregistering an unknown name reports false and does
+// nothing. The remaining queries are untouched and processing continues
+// normally.
 func (m *MultiEngine) Deregister(name string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, mq := range m.queries {
 		if mq.name == name {
 			if mq.eng != nil {
+				m.closed.Add(mq.eng.Stats())
+				m.closedN++
 				mq.eng.Close()
 			}
 			m.queries = append(m.queries[:i], m.queries[i+1:]...)
@@ -172,82 +191,200 @@ func (m *MultiEngine) findLocked(name string) *multiQuery {
 	return nil
 }
 
-// Run broadcasts the stream to every query concurrently and waits for all
-// of them. Per-query failures (e.g. deadline) are recorded and returned as
-// a combined error; successful queries keep their full results. Run does
-// not maintain the retained base graph — interleave ProcessBatch instead
-// when RegisterLive will be used mid-stream.
+// Run processes the whole stream through every query in lockstep and
+// keeps the shared graph at the post-stream state (so RegisterLive works
+// after Run as well as after ProcessBatch). Per-query failures (e.g.
+// deadline) are recorded and returned as one combined error — every
+// failed query contributes, joined with errors.Join — while successful
+// queries keep their full results. Recorded errors are cleared once
+// reported, so a failure in one Run never resurfaces from a later call.
+//
+// Unlike ProcessBatch, Run treats the stream as trusted: an update that
+// does not apply cleanly aborts the run and fails every remaining query
+// with that update's error.
 func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.broadcastLocked(ctx, s)
-	return m.firstErrLocked()
-}
-
-// broadcastLocked fans s out to every query engine and joins them.
-func (m *MultiEngine) broadcastLocked(ctx context.Context, s stream.Stream) {
-	var wg sync.WaitGroup
-	for _, mq := range m.queries {
-		wg.Add(1)
-		go func(mq *multiQuery) {
-			defer wg.Done()
-			_, mq.err = mq.eng.Run(ctx, s)
-		}(mq)
+	if m.g == nil {
+		return fmt.Errorf("core: Run before Init")
 	}
-	wg.Wait()
+	m.runSharedLocked(ctx, s)
+	return m.collectErrsLocked()
 }
 
-func (m *MultiEngine) firstErrLocked() error {
-	for _, mq := range m.queries {
-		if mq.err != nil {
-			return fmt.Errorf("query %q: %w", mq.name, mq.err)
-		}
-	}
-	return nil
-}
-
-// ProcessBatch is the serving-mode ingestion step: it validates batch
-// against the retained base graph, broadcasts the valid updates to every
-// registered query concurrently (each running its inter-update classifier
-// path) and leaves the base at the post-batch state for later
-// RegisterLive calls.
-//
-// Updates that do not apply cleanly against the current state (duplicate
-// edge, missing edge, dead vertex) are filtered out before dispatch —
+// ProcessBatch is the serving-mode ingestion step. Validation is a
+// speculative apply against the live shared graph: every update is
+// applied in order with its inverse recorded in the undo journal (an
+// update is valid iff it applies cleanly, and validity of update i
+// depends on updates < i being applied), the journal is rolled back to
+// the pre-batch state, and the valid subsequence is then processed in
+// lockstep — pre-apply fan-out, one shared apply, post-apply fan-out per
+// update. Updates that do not apply cleanly (duplicate edge, missing
+// edge, dead or non-isolated vertex) are filtered out before dispatch —
 // applied counts the updates that went through, len(batch)-applied were
-// rejected. Filtering keeps every per-query graph in lockstep: a
-// malformed update from one client cannot desynchronize the engines.
+// rejected — so a malformed update from one client cannot desynchronize
+// the engines or crash the service.
 //
 // ProcessBatch is intended to run without a context deadline (the serving
 // layer bounds work by batch size instead). If ctx does carry a deadline
-// and an engine times out mid-batch, that engine's graph lags the base
-// and the MultiEngine should be discarded.
+// and a query times out mid-batch, that query's index lags the shared
+// graph and the MultiEngine should be discarded. The combined per-query
+// error (errors.Join, as in Run) is returned and the recorded errors are
+// cleared.
 func (m *MultiEngine) ProcessBatch(ctx context.Context, batch stream.Stream) (applied int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.base == nil {
+	if m.g == nil {
 		return 0, fmt.Errorf("core: ProcessBatch before Init")
 	}
-	// Validation doubles as the base-graph apply: an update is valid iff
-	// it applies cleanly to the current state, and validity of update i
-	// depends on updates < i being applied. The engines' clones hold the
-	// identical pre-batch state, so the valid sequence applies cleanly
-	// there too.
+	m.undo.Reset()
 	valid := batch[:0:0]
 	for _, upd := range batch {
-		if upd.Apply(m.base) == nil {
+		if upd.ApplyLogged(m.g, &m.undo) == nil {
 			valid = append(valid, upd)
 		}
 	}
 	if len(valid) == 0 {
 		return 0, nil
 	}
-	m.broadcastLocked(ctx, valid)
-	err = m.firstErrLocked()
-	for _, mq := range m.queries {
-		mq.err = nil
+	if len(m.queries) == 0 {
+		// No queries to drive: the speculative apply already left the
+		// shared graph at the post-batch state, so keep it.
+		m.undo.Reset()
+		return len(valid), nil
 	}
-	return len(valid), err
+	m.undo.Rollback(m.g)
+	m.runSharedLocked(ctx, valid)
+	return len(valid), m.collectErrsLocked()
+}
+
+// runSharedLocked drives s through every registered query in lockstep:
+// per update, fan out the read-only pre-apply phase, apply the update to
+// the shared graph exactly once, then fan out the post-apply phase. All
+// queries therefore observe the identical graph state around every
+// update — the apply-once/fan-out contract of DESIGN.md §13. A query
+// whose engine reports an error is skipped for the remainder of the call
+// (its index no longer tracks the shared graph); the error is left in
+// mq.err for collectErrsLocked.
+func (m *MultiEngine) runSharedLocked(ctx context.Context, s stream.Stream) {
+	active := make([]*multiQuery, 0, len(m.queries))
+	for _, mq := range m.queries {
+		if mq.err == nil {
+			active = append(active, mq)
+		}
+	}
+	// Simulated-time budget, as in Engine.Run: under schedule simulation a
+	// context deadline is interpreted against accumulated simulated time.
+	var simBudget time.Duration
+	if dl, ok := ctx.Deadline(); ok && m.cfg.Simulate {
+		simBudget = time.Until(dl)
+		for _, mq := range active {
+			mq.eng.simBudget = simBudget
+		}
+		defer func() {
+			for _, mq := range m.queries {
+				if mq.eng != nil {
+					mq.eng.simBudget = 0
+				}
+			}
+		}()
+	}
+	for i, upd := range s {
+		if len(active) == 0 && len(m.queries) > 0 {
+			// Every query failed; stop early — the remaining updates would
+			// only advance a graph nobody observes, and the serving layer
+			// discards the MultiEngine on error anyway.
+			return
+		}
+		if upd.IsEdge() {
+			// Vertex ops have a trivial pre-apply phase (classVertexOp,
+			// no enumeration); skip the fan-out barrier for them.
+			fanOut(active, func(mq *multiQuery) {
+				mq.eng.sharedPrepare(ctx, upd)
+			})
+		} else {
+			for _, mq := range active {
+				mq.eng.shared = sharedPending{verdict: classVertexOp}
+			}
+		}
+		if err := upd.Apply(m.g); err != nil {
+			for _, mq := range active {
+				mq.err = fmt.Errorf("update %d (%v): %w", i, upd, err)
+			}
+			return
+		}
+		fanOut(active, func(mq *multiQuery) {
+			if _, err := mq.eng.sharedCommit(ctx, upd); err != nil {
+				mq.err = fmt.Errorf("update %d (%v): %w", i, upd, err)
+			} else if simBudget > 0 && mq.eng.totalElapsed() > simBudget {
+				mq.err = fmt.Errorf("update %d: %w", i, csm.ErrDeadline)
+			}
+		})
+		// Compact out queries that just failed.
+		n := active[:0]
+		for _, mq := range active {
+			if mq.err == nil {
+				n = append(n, mq)
+			}
+		}
+		active = n
+	}
+}
+
+// fanOut runs fn over every query from min(GOMAXPROCS, len(qs)) worker
+// goroutines (work-stealing by atomic index, since per-query cost is
+// heavy-tailed) and joins them: the barrier that keeps all queries on the
+// same side of each graph mutation. The caller runs one worker itself, so
+// a single query never pays a goroutine switch.
+func fanOut(qs []*multiQuery, fn func(*multiQuery)) {
+	if len(qs) == 0 {
+		return
+	}
+	if len(qs) == 1 {
+		fn(qs[0])
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				fn(qs[i])
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(qs) {
+			break
+		}
+		fn(qs[i])
+	}
+	wg.Wait()
+}
+
+// collectErrsLocked joins every failed query's error into one combined
+// error (nil when none failed) and clears the recorded errors, so a
+// reported failure never resurfaces from a later Run or ProcessBatch.
+func (m *MultiEngine) collectErrsLocked() error {
+	var errs []error
+	for _, mq := range m.queries {
+		if mq.err != nil {
+			errs = append(errs, fmt.Errorf("query %q: %w", mq.name, mq.err))
+			mq.err = nil
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Close releases every per-query engine's worker pool (see Engine.Close).
@@ -263,6 +400,8 @@ func (m *MultiEngine) Close() {
 }
 
 // Stats returns the per-query statistics, keyed by registration name.
+// Deregistered queries are not included; their retained totals are
+// available from ClosedStats.
 func (m *MultiEngine) Stats() map[string]Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -273,6 +412,34 @@ func (m *MultiEngine) Stats() map[string]Stats {
 		}
 	}
 	return out
+}
+
+// ClosedStats returns the cumulative Stats of every deregistered query
+// (folded in at Deregister time) and how many queries it covers. Summing
+// it with the live per-query Stats yields totals that are monotonic
+// across client disconnects — the contract the serving layer's metrics
+// rely on.
+func (m *MultiEngine) ClosedStats() (Stats, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.closed
+	s.ThreadBusy = append([]time.Duration(nil), m.closed.ThreadBusy...)
+	return s, m.closedN
+}
+
+// TotalStats returns the sum of every query's Stats, live and
+// deregistered alike: the monotonic aggregate view.
+func (m *MultiEngine) TotalStats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := m.closed
+	total.ThreadBusy = append([]time.Duration(nil), m.closed.ThreadBusy...)
+	for _, mq := range m.queries {
+		if mq.eng != nil {
+			total.Add(mq.eng.Stats())
+		}
+	}
+	return total
 }
 
 // QueryNames returns the live query names in registration order.

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paracosm/internal/algo/algotest"
+	"paracosm/internal/csm"
+	"paracosm/internal/graph"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// deltaRec is one observed OnDelta invocation, for sequence comparison.
+type deltaRec struct {
+	pos, neg uint64
+}
+
+// deltaLog collects per-query OnDelta sequences under a lock (different
+// queries report concurrently during the shared fan-out).
+type deltaLog struct {
+	mu   sync.Mutex
+	seqs map[string][]deltaRec
+}
+
+func newDeltaLog() *deltaLog { return &deltaLog{seqs: make(map[string][]deltaRec)} }
+
+func (l *deltaLog) add(name string, d csm.Delta) {
+	l.mu.Lock()
+	l.seqs[name] = append(l.seqs[name], deltaRec{d.Positive, d.Negative})
+	l.mu.Unlock()
+}
+
+// privateReplay runs q alone over a private clone of base through s —
+// the pre-shared-graph execution model — returning its Stats and OnDelta
+// sequence. This is the oracle the shared-graph MultiEngine must match.
+func privateReplay(t *testing.T, algo csm.Algorithm, base *graph.Graph, q *query.Graph, s stream.Stream, opts ...Option) (Stats, []deltaRec) {
+	t.Helper()
+	var seq []deltaRec
+	opts = append(append([]Option(nil), opts...), WithOnDelta(func(upd stream.Update, d csm.Delta, timeout bool) {
+		seq = append(seq, deltaRec{d.Positive, d.Negative})
+	}))
+	eng := New(algo, opts...)
+	defer eng.Close()
+	if err := eng.Init(base.Clone(), q); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, seq
+}
+
+// TestMultiEngineSharedOracle is the equivalence proof for the shared-graph
+// driver: queries joining and leaving mid-stream through ONE shared graph
+// must observe exactly the per-update deltas and final totals they would
+// have produced running alone over private clones. Run under -race this
+// also exercises the fan-out phases' concurrent reads of the shared graph.
+func TestMultiEngineSharedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := algotest.RandomGraph(rng, 28, 60, 2, 1)
+	qA := algotest.RandomQuery(rng, g, 3)
+	qB := algotest.RandomQuery(rng, g, 4)
+	qC := algotest.RandomQuery(rng, g, 3)
+	qD := algotest.RandomQuery(rng, g, 4)
+	if qA == nil || qB == nil || qC == nil || qD == nil {
+		t.Skip("no queries")
+	}
+	s := algotest.RandomStream(rng, g, 60, 0.7, 1)
+	seg0, seg1, seg2 := s[:20], s[20:40], s[40:]
+
+	fGF := algotest.Factories()[2] // GraphFlow
+	fSY := algotest.Factories()[4] // Symbi
+	opts := []Option{Threads(2), BatchSize(4)}
+
+	// Shared run: A and B from the start; after seg0, C joins and B
+	// leaves; after seg1, D joins.
+	shared := newDeltaLog()
+	m := NewMulti(opts...)
+	defer m.Close()
+	m.OnDelta = func(name string, upd stream.Update, d csm.Delta, timeout bool) {
+		shared.add(name, d)
+	}
+	m.Register("A", fGF.New(), qA)
+	m.Register("B", fSY.New(), qB)
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.ProcessBatch(context.Background(), seg0); err != nil || n != len(seg0) {
+		t.Fatalf("seg0: %d, %v", n, err)
+	}
+	if err := m.RegisterLive("C", fGF.New(), qC); err != nil {
+		t.Fatal(err)
+	}
+	bStats := m.Stats()["B"]
+	if !m.Deregister("B") {
+		t.Fatal("Deregister(B) = false")
+	}
+	if n, err := m.ProcessBatch(context.Background(), seg1); err != nil || n != len(seg1) {
+		t.Fatalf("seg1: %d, %v", n, err)
+	}
+	if err := m.RegisterLive("D", fSY.New(), qD); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.ProcessBatch(context.Background(), seg2); err != nil || n != len(seg2) {
+		t.Fatalf("seg2: %d, %v", n, err)
+	}
+	st := m.Stats()
+
+	// Registration-point graphs for the private replays.
+	mid1 := g.Clone() // post-seg0: C's view
+	if err := seg0.ApplyAll(mid1); err != nil {
+		t.Fatal(err)
+	}
+	mid2 := mid1.Clone() // post-seg1: D's view
+	if err := seg1.ApplyAll(mid2); err != nil {
+		t.Fatal(err)
+	}
+	concat := func(segs ...stream.Stream) stream.Stream {
+		var out stream.Stream
+		for _, sg := range segs {
+			out = append(out, sg...)
+		}
+		return out
+	}
+	refs := []struct {
+		name string
+		algo csm.Algorithm
+		base *graph.Graph
+		q    *query.Graph
+		s    stream.Stream
+	}{
+		{"A", fGF.New(), g, qA, concat(seg0, seg1, seg2)},
+		{"B", fSY.New(), g, qB, seg0},
+		{"C", fGF.New(), mid1, qC, concat(seg1, seg2)},
+		{"D", fSY.New(), mid2, qD, seg2},
+	}
+	for _, ref := range refs {
+		wantSt, wantSeq := privateReplay(t, ref.algo, ref.base, ref.q, ref.s, opts...)
+		gotSt, ok := st[ref.name]
+		if !ok {
+			// B was deregistered: its totals were snapshotted beforehand.
+			gotSt = bStats
+		}
+		if gotSt.Positive != wantSt.Positive || gotSt.Negative != wantSt.Negative {
+			t.Errorf("%s: shared (+%d,-%d), private (+%d,-%d)",
+				ref.name, gotSt.Positive, gotSt.Negative, wantSt.Positive, wantSt.Negative)
+		}
+		if gotSt.Updates != wantSt.Updates {
+			t.Errorf("%s: shared saw %d updates, private %d", ref.name, gotSt.Updates, wantSt.Updates)
+		}
+		gotSeq := shared.seqs[ref.name]
+		if len(gotSeq) != len(wantSeq) {
+			t.Errorf("%s: shared fired %d deltas, private %d", ref.name, len(gotSeq), len(wantSeq))
+			continue
+		}
+		for i := range gotSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Errorf("%s: delta %d: shared (+%d,-%d), private (+%d,-%d)",
+					ref.name, i, gotSeq[i].pos, gotSeq[i].neg, wantSeq[i].pos, wantSeq[i].neg)
+				break
+			}
+		}
+	}
+
+	// The deregistered query's work is retained, and the aggregate view is
+	// the sum of live and closed.
+	closed, n := m.ClosedStats()
+	if n != 1 {
+		t.Fatalf("ClosedStats covers %d queries, want 1", n)
+	}
+	if closed.Positive != bStats.Positive || closed.Negative != bStats.Negative {
+		t.Fatalf("closed tally (+%d,-%d), B at deregistration (+%d,-%d)",
+			closed.Positive, closed.Negative, bStats.Positive, bStats.Negative)
+	}
+	total := m.TotalStats()
+	var wantTotal Stats
+	wantTotal.Add(closed)
+	for _, s := range st {
+		wantTotal.Add(s)
+	}
+	if total.Positive != wantTotal.Positive || total.Updates != wantTotal.Updates {
+		t.Fatalf("TotalStats (+%d, %d upd) != closed+live (+%d, %d upd)",
+			total.Positive, total.Updates, wantTotal.Positive, wantTotal.Updates)
+	}
+}
+
+// multiTreeSetup builds a MultiEngine over treeAlgo queries (controlled
+// search-tree sizes, see pool_test.go) on the trivial 4-vertex graph.
+func multiTreeSetup(t *testing.T, algos map[string]*treeAlgo) *MultiEngine {
+	t.Helper()
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex(1)
+	}
+	q := query.MustNew([]graph.Label{1, 1, 1})
+	q.MustAddEdge(0, 1, 0)
+	q.MustAddEdge(1, 2, 0)
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMulti(Threads(1), InterUpdate(false))
+	for name, a := range algos {
+		m.Register(name, a, q)
+	}
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMultiEngineRunJoinsAllErrors: when several queries fail in one Run,
+// the combined error must name every failed query (not just the first)
+// and spare the survivors.
+func TestMultiEngineRunJoinsAllErrors(t *testing.T) {
+	m := multiTreeSetup(t, map[string]*treeAlgo{
+		"big1":  {width: 50, depth: 50}, // deadline probe fires mid-tree
+		"big2":  {width: 50, depth: 50},
+		"small": {width: 2, depth: 2}, // finishes before the first probe
+	})
+	defer m.Close()
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	err := m.Run(expired, stream.Stream{{Op: stream.AddEdge, U: 0, V: 1}})
+	if err == nil {
+		t.Fatal("Run with expired deadline returned nil")
+	}
+	if !errors.Is(err, csm.ErrDeadline) {
+		t.Fatalf("combined error does not wrap ErrDeadline: %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{`"big1"`, `"big2"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("combined error missing %s: %v", want, err)
+		}
+	}
+	if strings.Contains(msg, `"small"`) {
+		t.Errorf("combined error names the successful query: %v", err)
+	}
+	if st := m.Stats()["small"]; st.Updates != 1 {
+		t.Fatalf("surviving query processed %d updates, want 1", st.Updates)
+	}
+}
+
+// TestMultiEngineRunClearsErrors: a failure reported by one Run (or
+// ProcessBatch) must not resurface from a later call — the regression
+// guard for the stale-mq.err bug.
+func TestMultiEngineRunClearsErrors(t *testing.T) {
+	m := multiTreeSetup(t, map[string]*treeAlgo{
+		"big": {width: 50, depth: 50},
+	})
+	defer m.Close()
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	if err := m.Run(expired, stream.Stream{{Op: stream.AddEdge, U: 0, V: 1}}); !errors.Is(err, csm.ErrDeadline) {
+		t.Fatalf("first Run: err = %v, want ErrDeadline", err)
+	}
+	if err := m.Run(context.Background(), nil); err != nil {
+		t.Fatalf("second Run resurfaced a cleared error: %v", err)
+	}
+	if _, err := m.ProcessBatch(context.Background(), nil); err != nil {
+		t.Fatalf("ProcessBatch resurfaced a cleared error: %v", err)
+	}
+}
+
+// TestMultiEngineProcessBatchNoQueriesKeepsState: with zero registered
+// queries the speculative validation pass must still advance the shared
+// graph (serving mode ingests before the first client registers), and a
+// later RegisterLive observes the advanced state.
+func TestMultiEngineProcessBatchNoQueriesKeepsState(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := algotest.RandomGraph(rng, 20, 35, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g, 30, 0.7, 1)
+	first, second := s[:15], s[15:]
+
+	m := NewMulti(Threads(1))
+	defer m.Close()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.ProcessBatch(context.Background(), first); err != nil || n != len(first) {
+		t.Fatalf("queryless ProcessBatch = %d, %v", n, err)
+	}
+	if err := m.RegisterLive("late", algotest.Factories()[2].New(), q); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.ProcessBatch(context.Background(), second); err != nil || n != len(second) {
+		t.Fatalf("second batch = %d, %v", n, err)
+	}
+	mid := g.Clone()
+	if err := first.ApplyAll(mid); err != nil {
+		t.Fatal(err)
+	}
+	wantPos, wantNeg := refTotals(t, mid, q, second)
+	if got := m.Stats()["late"]; got.Positive != wantPos || got.Negative != wantNeg {
+		t.Fatalf("late: (+%d,-%d), reference (+%d,-%d)", got.Positive, got.Negative, wantPos, wantNeg)
+	}
+}

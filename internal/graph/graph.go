@@ -255,7 +255,7 @@ func (g *Graph) AddEdge(u, v VertexID, l Label) bool {
 		return false
 	}
 	g.insertHalf(v, u, l)
-	//lint:ignore lockguard plain AddEdge is the externally-serialized mutation path — audited: serve mode funnels all mutation through MultiEngine.ProcessBatch under m.mu, and per-query clones are single-goroutine
+	//lint:ignore lockguard plain AddEdge is the externally-serialized mutation path — audited: the shared multi-query graph is mutated only by MultiEngine's lockstep driver under m.mu (fan-out phases are read-only), and single-engine graphs are single-goroutine
 	g.edges++
 	return true
 }
@@ -267,7 +267,7 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 		return false
 	}
 	g.removeHalf(v, u)
-	//lint:ignore lockguard plain RemoveEdge is the externally-serialized mutation path — audited: serve mode funnels all mutation through MultiEngine.ProcessBatch under m.mu, and per-query clones are single-goroutine
+	//lint:ignore lockguard plain RemoveEdge is the externally-serialized mutation path — audited: the shared multi-query graph is mutated only by MultiEngine's lockstep driver under m.mu (fan-out phases are read-only), and single-engine graphs are single-goroutine
 	g.edges--
 	return true
 }
@@ -354,7 +354,7 @@ func (g *Graph) Clone() *Graph {
 		segs:   make([][]labelSeg, len(g.segs)),
 		alive:  append([]bool(nil), g.alive...),
 		live:   g.live,
-		//lint:ignore lockguard Clone snapshots a quiescent graph — audited: serve mode clones only inside RegisterLive/Init under m.mu, which excludes the ProcessBatch mutators
+		//lint:ignore lockguard Clone snapshots a quiescent graph — audited: MultiEngine clones only inside Init under m.mu, which excludes the Run/ProcessBatch mutators
 		edges:   g.edges,
 		byLabel: make(map[Label][]VertexID, len(g.byLabel)),
 	}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"paracosm/internal/core"
+)
+
+// metricValue extracts one series' value from Prometheus text exposition.
+func metricValue(t *testing.T, text, name string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(line[len(name)+1:]), 10, 64)
+		if err != nil {
+			t.Fatalf("parse %s: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s missing from metrics output:\n%s", name, text)
+	return 0
+}
+
+// TestServerMetricsMonotonicAcrossDisconnect: a client registers a query,
+// streams matches through it, and disconnects (which deregisters the
+// query). The query-work counters must not shrink — the deregistered
+// engine's totals are retained in the MultiEngine's closed tally — and
+// the disconnect itself must be visible in queries_closed_total.
+func TestServerMetricsMonotonicAcrossDisconnect(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := uniformGraph(24)
+	q := singleEdgeQuery(t)
+	s := insertOnlyStream(rng, g, 60, 1)
+
+	srv := startTestServer(t, g, Config{
+		Engine: []core.Option{core.Threads(1)},
+	})
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register("q1", "GraphFlow", q); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.Send(s); err != nil || n != len(s) {
+		t.Fatalf("send: %d, %v", n, err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := srv.Metrics()
+	if before.QueryUpdates != uint64(len(s)) {
+		t.Fatalf("QueryUpdates = %d, want %d", before.QueryUpdates, len(s))
+	}
+	// Every label-0 edge insert yields two matches of the one-edge query.
+	if want := 2 * uint64(len(s)); before.QueryPositive != want {
+		t.Fatalf("QueryPositive = %d, want %d", before.QueryPositive, want)
+	}
+	if before.QueriesClosed != 0 || before.Queries != 1 {
+		t.Fatalf("before disconnect: closed=%d live=%d", before.QueriesClosed, before.Queries)
+	}
+
+	// Disconnect: teardown deregisters q1 and closes its engine.
+	cl.Close()
+	waitUntil(t, "query deregistered", func() bool { return srv.NumQueries() == 0 })
+
+	after := srv.Metrics()
+	if after.QueriesClosed != 1 {
+		t.Fatalf("QueriesClosed = %d, want 1", after.QueriesClosed)
+	}
+	if after.QueryUpdates < before.QueryUpdates ||
+		after.QueryPositive < before.QueryPositive ||
+		after.QueryNegative < before.QueryNegative ||
+		after.QuerySafe < before.QuerySafe ||
+		after.QueryNodesSeen < before.QueryNodesSeen {
+		t.Fatalf("query totals shrank across disconnect:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if after.QueryUpdates != before.QueryUpdates || after.QueryPositive != before.QueryPositive {
+		t.Fatalf("query totals changed with no further updates:\nbefore %+v\nafter  %+v", before, after)
+	}
+
+	// The exposition format carries the same retained totals.
+	var sb strings.Builder
+	if err := srv.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if got := metricValue(t, text, "paracosm_query_updates_total"); got != after.QueryUpdates {
+		t.Fatalf("exposition updates_total = %d, snapshot %d", got, after.QueryUpdates)
+	}
+	if got := metricValue(t, text, "paracosm_server_queries_closed_total"); got != 1 {
+		t.Fatalf("exposition queries_closed_total = %d, want 1", got)
+	}
+	if got := metricValue(t, text, "paracosm_query_matches_positive_total"); got != after.QueryPositive {
+		t.Fatalf("exposition matches_positive_total = %d, snapshot %d", got, after.QueryPositive)
+	}
+}

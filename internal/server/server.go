@@ -193,8 +193,9 @@ func (cn *conn) offerDelta(f *Frame) bool {
 }
 
 // Start builds a MultiEngine over g, binds cfg.Addr and serves until
-// Close. The graph is cloned per registered query (and once for the
-// retained base state); the caller's g is not retained.
+// Close. The graph is cloned exactly once into the engine's shared data
+// graph — registered queries add index state only, not graph copies —
+// and the caller's g is not retained.
 func Start(g *graph.Graph, cfg Config) (*Server, error) {
 	cfg.normalize()
 	engOpts := cfg.Engine
@@ -686,6 +687,16 @@ type MetricsSnapshot struct {
 	Rejected      uint64
 	Deltas        uint64
 	DeltasDropped uint64
+
+	// Query-work totals, aggregated over live AND deregistered queries
+	// (MultiEngine retains the tally of every closed engine), so these
+	// counters are monotonic across client disconnects.
+	QueriesClosed  uint64
+	QueryUpdates   uint64
+	QueryPositive  uint64
+	QueryNegative  uint64
+	QuerySafe      uint64
+	QueryNodesSeen uint64
 }
 
 // Metrics returns a snapshot of the serving-layer gauges and counters.
@@ -697,6 +708,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		subsN += len(subs)
 	}
 	s.mu.Unlock()
+	total := s.multi.TotalStats()
+	_, closedN := s.multi.ClosedStats()
 	return MetricsSnapshot{
 		Connections:   conns,
 		Queries:       s.multi.NumQueries(),
@@ -709,6 +722,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Rejected:      s.rejected.Load(),
 		Deltas:        s.deltasTotal.Load(),
 		DeltasDropped: s.deltasDropped.Load(),
+
+		QueriesClosed:  uint64(closedN),
+		QueryUpdates:   uint64(total.Updates),
+		QueryPositive:  total.Positive,
+		QueryNegative:  total.Negative,
+		QuerySafe:      uint64(total.SafeUpdates),
+		QueryNodesSeen: total.Nodes,
 	}
 }
 
@@ -732,6 +752,12 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{"paracosm_server_updates_rejected_total", "counter", "Updates refused by the reject backpressure policy.", m.Rejected},
 		{"paracosm_server_deltas_total", "counter", "Nonzero match deltas produced across all queries.", m.Deltas},
 		{"paracosm_server_deltas_dropped_total", "counter", "Match deltas dropped on subscriber-queue overflow.", m.DeltasDropped},
+		{"paracosm_server_queries_closed_total", "counter", "Queries deregistered since start (their work totals are retained below).", m.QueriesClosed},
+		{"paracosm_query_updates_total", "counter", "Updates processed summed over live and deregistered queries.", m.QueryUpdates},
+		{"paracosm_query_matches_positive_total", "counter", "Positive match deltas summed over live and deregistered queries.", m.QueryPositive},
+		{"paracosm_query_matches_negative_total", "counter", "Negative match deltas summed over live and deregistered queries.", m.QueryNegative},
+		{"paracosm_query_safe_updates_total", "counter", "Updates classified safe summed over live and deregistered queries.", m.QuerySafe},
+		{"paracosm_query_nodes_total", "counter", "Search-tree nodes visited summed over live and deregistered queries.", m.QueryNodesSeen},
 	}
 	for _, sr := range series {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",

@@ -100,6 +100,38 @@ func (u Update) Apply(g *graph.Graph) error {
 	return nil
 }
 
+// ApplyLogged is Apply with every mutation's inverse recorded in log, so
+// the caller can validate a batch by speculative application and roll the
+// graph back (see graph.UndoLog). Unlike Apply, deleting a non-isolated
+// vertex is reported as an error instead of panicking: ApplyLogged is the
+// validation path for untrusted streams, where a malformed update must be
+// rejected, not crash the process.
+func (u Update) ApplyLogged(g *graph.Graph, log *graph.UndoLog) error {
+	switch u.Op {
+	case AddEdge:
+		if !g.AddEdgeLogged(u.U, u.V, u.ELabel, log) {
+			return fmt.Errorf("stream: +e %d %d: edge exists or self loop", u.U, u.V)
+		}
+	case DeleteEdge:
+		if !g.RemoveEdgeLogged(u.U, u.V, log) {
+			return fmt.Errorf("stream: -e %d %d: edge missing", u.U, u.V)
+		}
+	case AddVertex:
+		g.AddVertexLogged(u.VLabel, log)
+	case DeleteVertex:
+		if !g.Alive(u.U) {
+			return fmt.Errorf("stream: -v %d: vertex missing", u.U)
+		}
+		if g.Degree(u.U) != 0 {
+			return fmt.Errorf("stream: -v %d: vertex not isolated", u.U)
+		}
+		g.DeleteVertexLogged(u.U, log)
+	default:
+		return fmt.Errorf("stream: unknown op %d", u.Op)
+	}
+	return nil
+}
+
 // Invert returns the update that undoes u (edge ops only).
 func (u Update) Invert() (Update, error) {
 	switch u.Op {
