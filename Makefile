@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-json test race bench bench-json bench-compare debug-smoke serve-smoke fuzz experiments examples clean
+.PHONY: all build lint lint-json test race bench bench-json bench-compare debug-smoke serve-smoke metrics-lint fuzz experiments examples clean
 
 all: lint test
 
@@ -41,13 +41,13 @@ bench:
 # updates/sec at 100/1k/10k standing queries). CI runs this as a
 # non-gating step.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
 
 # Non-gating comparison of the current baseline against the previous PR's
 # committed one (updates/sec, p99, kernel counters, multi-query rows).
 # Always exits 0.
 bench-compare:
-	$(GO) run ./cmd/benchcmp -old BENCH_pr4.json -new BENCH_pr7.json
+	$(GO) run ./cmd/benchcmp -old BENCH_pr7.json -new BENCH_pr8.json
 
 # End-to-end smoke of the observability layer: run paracosm with
 # -debug-addr on a generated dataset and curl /healthz, /metrics and
@@ -56,9 +56,17 @@ debug-smoke:
 	./scripts/debug_smoke.sh
 
 # End-to-end smoke of the serving layer: paracosm serve + paracosm client
-# over TCP, streamed delta totals checked against the sequential oracle.
+# over TCP, streamed delta totals checked against the sequential oracle,
+# plus /queries and `paracosm top` against the live standing query.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Prometheus exposition lint: scrape a live server twice (idle, then
+# after client traffic) and validate both scrapes with cmd/metricslint —
+# unique series, valid names and label escaping, one TYPE per metric,
+# monotone _total counters.
+metrics-lint:
+	./scripts/metrics_lint.sh
 
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/

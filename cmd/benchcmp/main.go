@@ -86,5 +86,12 @@ func main() {
 		fmt.Printf("%-24s bytes/query %9.0f -> %9.0f (%s)   updates/sec %9.1f -> %9.1f (%s)\n",
 			key, o.BytesPerQuery, n.BytesPerQuery, pct(o.BytesPerQuery, n.BytesPerQuery),
 			o.UpdatesPerSec, n.UpdatesPerSec, pct(o.UpdatesPerSec, n.UpdatesPerSec))
+		// Pipeline stage means (schema 5; absent fields read as zero).
+		if n.StagePreApplyUS > 0 || n.StageCommitUS > 0 || n.StagePostApplyUS > 0 {
+			fmt.Printf("%-24s   stages (mean us): pre-apply %.1f -> %.1f   commit %.2f -> %.2f   post-apply %.1f -> %.1f\n",
+				"", o.StagePreApplyUS, n.StagePreApplyUS,
+				o.StageCommitUS, n.StageCommitUS,
+				o.StagePostApplyUS, n.StagePostApplyUS)
+		}
 	}
 }

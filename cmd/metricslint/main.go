@@ -1,0 +1,352 @@
+// Command metricslint validates Prometheus text-exposition scrapes from
+// the paracosm debug server. Given one scrape it checks the format is
+// well-formed; given two scrapes of the same server (old then new) it
+// additionally checks that every `_total` counter present in both moved
+// monotonically. scripts/metrics_lint.sh drives it against a live
+// `paracosm serve` and CI gates on the result, so an exposition bug
+// (duplicate series, broken label escaping, a counter that can go
+// backwards) fails the build instead of silently corrupting dashboards.
+//
+// Checks, per scrape:
+//
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - label names match [a-zA-Z_][a-zA-Z0-9_]*, values are quoted with
+//     only \\ \" \n escapes, and the brace block parses exactly
+//   - sample values parse as Go floats (NaN/Inf spellings included)
+//   - each (name, sorted label set) appears at most once
+//   - at most one `# TYPE` per metric name, emitted before its samples,
+//     with a known type; every sample's name has a TYPE
+//   - `# HELP` at most once per name
+//   - names ending in `_total` are declared `counter`
+//
+// Across two scrapes: for every series whose name ends in `_total` and
+// which appears in both, new value >= old value.
+//
+// Usage:
+//
+//	metricslint scrape.txt
+//	metricslint old.txt new.txt
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed exposition line: a series identity and its value.
+type sample struct {
+	name   string
+	series string // name + canonical (sorted) label rendering
+	value  float64
+	line   int
+}
+
+// scrape is the parsed form of one exposition document.
+type scrape struct {
+	path    string
+	samples []sample
+	types   map[string]string // metric name -> declared TYPE
+}
+
+type linter struct {
+	errs int
+}
+
+func (l *linter) errorf(path string, line int, format string, args ...any) {
+	l.errs++
+	fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, line, fmt.Sprintf(format, args...))
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if alpha || (i > 0 && r >= '0' && r <= '9') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// parseLabels parses a `{k="v",...}` block (s starts at '{'), returning
+// the canonical sorted rendering and the offset just past '}'.
+func parseLabels(s string) (canon string, rest string, err error) {
+	if s == "" || s[0] != '{' {
+		return "", s, fmt.Errorf("expected '{'")
+	}
+	s = s[1:]
+	type kv struct{ k, v string }
+	var labels []kv
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			s = s[1:]
+			break
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", s, fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return "", s, fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimLeft(s[eq+1:], " \t")
+		if !strings.HasPrefix(s, `"`) {
+			return "", s, fmt.Errorf("label %s: value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			switch c {
+			case '\\':
+				if i+1 >= len(s) {
+					return "", s, fmt.Errorf("label %s: dangling backslash", name)
+				}
+				esc := s[i+1]
+				if esc != '\\' && esc != '"' && esc != 'n' {
+					return "", s, fmt.Errorf("label %s: invalid escape \\%c", name, esc)
+				}
+				val.WriteByte(c)
+				val.WriteByte(esc)
+				i++
+			case '"':
+				s = s[i+1:]
+				closed = true
+			case '\n':
+				return "", s, fmt.Errorf("label %s: unescaped newline in value", name)
+			default:
+				val.WriteByte(c)
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return "", s, fmt.Errorf("label %s: unterminated value", name)
+		}
+		labels = append(labels, kv{name, val.String()})
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			s = s[1:]
+			break
+		}
+		if s == "" {
+			return "", s, fmt.Errorf("unterminated label block")
+		}
+		return "", s, fmt.Errorf("expected ',' or '}' after label %s", name)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].k < labels[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			if l.k == labels[i-1].k {
+				return "", s, fmt.Errorf("duplicate label %q", l.k)
+			}
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.k, l.v)
+	}
+	b.WriteByte('}')
+	return b.String(), s, nil
+}
+
+var knownTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// parseScrape parses one exposition document, reporting format errors
+// through l and returning whatever parsed cleanly.
+func parseScrape(l *linter, path string) scrape {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		l.errorf(path, 0, "%v", err)
+		return scrape{path: path, types: map[string]string{}}
+	}
+	sc := scrape{path: path, types: map[string]string{}}
+	help := map[string]bool{}
+	seen := map[string]int{} // series -> first line
+	sampled := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		ln := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				name, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				if !validMetricName(name) {
+					l.errorf(path, ln, "TYPE for invalid metric name %q", name)
+					continue
+				}
+				if !knownTypes[typ] {
+					l.errorf(path, ln, "unknown TYPE %q for %s", typ, name)
+				}
+				if prev, dup := sc.types[name]; dup {
+					l.errorf(path, ln, "duplicate TYPE for %s (already %q)", name, prev)
+					continue
+				}
+				if sampled[name] {
+					l.errorf(path, ln, "TYPE for %s after its samples", name)
+				}
+				sc.types[name] = typ
+				if strings.HasSuffix(name, "_total") && typ != "counter" {
+					l.errorf(path, ln, "%s ends in _total but is TYPE %s", name, typ)
+				}
+			case "HELP":
+				name := fields[2]
+				if help[name] {
+					l.errorf(path, ln, "duplicate HELP for %s", name)
+				}
+				help[name] = true
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		rest := line
+		end := strings.IndexAny(rest, "{ \t")
+		if end < 0 {
+			l.errorf(path, ln, "sample without value: %q", line)
+			continue
+		}
+		name := rest[:end]
+		if !validMetricName(name) {
+			l.errorf(path, ln, "invalid metric name %q", name)
+			continue
+		}
+		rest = rest[end:]
+		canon := "{}"
+		if strings.HasPrefix(rest, "{") {
+			var perr error
+			canon, rest, perr = parseLabels(rest)
+			if perr != nil {
+				l.errorf(path, ln, "%s: %v", name, perr)
+				continue
+			}
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			l.errorf(path, ln, "%s: expected value [timestamp], got %q", name, rest)
+			continue
+		}
+		v, perr := strconv.ParseFloat(fields[0], 64)
+		if perr != nil {
+			l.errorf(path, ln, "%s: bad value %q", name, fields[0])
+			continue
+		}
+		if len(fields) == 2 {
+			if _, perr := strconv.ParseInt(fields[1], 10, 64); perr != nil {
+				l.errorf(path, ln, "%s: bad timestamp %q", name, fields[1])
+			}
+		}
+		series := name + canon
+		if first, dup := seen[series]; dup {
+			l.errorf(path, ln, "duplicate series %s (first at line %d)", series, first)
+		} else {
+			seen[series] = ln
+		}
+		sampled[name] = true
+		sc.samples = append(sc.samples, sample{name: name, series: series, value: v, line: ln})
+	}
+	for name := range sampled {
+		if _, ok := sc.types[name]; ok {
+			continue
+		}
+		// Histogram and summary families expose their samples under
+		// suffixed names covered by the base metric's single TYPE line.
+		if base, ok := familyBase(name); ok {
+			if t := sc.types[base]; t == "histogram" || t == "summary" {
+				continue
+			}
+		}
+		l.errorf(path, 0, "metric %s has samples but no TYPE", name)
+	}
+	return sc
+}
+
+// familyBase maps a histogram/summary component sample name to the
+// declared family name, e.g. foo_seconds_bucket -> foo_seconds.
+func familyBase(name string) (string, bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) && len(name) > len(suf) {
+			return name[:len(name)-len(suf)], true
+		}
+	}
+	return "", false
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricslint scrape.txt [newer-scrape.txt]")
+		os.Exit(2)
+	}
+	var l linter
+	scrapes := make([]scrape, 0, 2)
+	for _, p := range args {
+		scrapes = append(scrapes, parseScrape(&l, p))
+	}
+
+	if len(scrapes) == 2 {
+		old, nw := scrapes[0], scrapes[1]
+		oldVals := make(map[string]float64, len(old.samples))
+		for _, s := range old.samples {
+			oldVals[s.series] = s.value
+		}
+		checked := 0
+		for _, s := range nw.samples {
+			if !strings.HasSuffix(s.name, "_total") {
+				continue
+			}
+			ov, ok := oldVals[s.series]
+			if !ok {
+				continue // series appeared between scrapes; fine
+			}
+			checked++
+			if s.value < ov {
+				l.errorf(nw.path, s.line, "counter %s went backwards: %g -> %g", s.series, ov, s.value)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "metricslint: %d counters checked for monotonicity\n", checked)
+	}
+
+	total := 0
+	for _, sc := range scrapes {
+		total += len(sc.samples)
+	}
+	if l.errs > 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %d problem(s) in %d sample(s)\n", l.errs, total)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "metricslint: ok (%d samples across %d scrape(s))\n", total, len(scrapes))
+}

@@ -20,6 +20,11 @@
 //	paracosm serve -data data_graph.txt -addr 127.0.0.1:7400
 //	paracosm client -name q1 -algo Symbi -query query_6_000.txt \
 //	         -stream insertion_stream.txt -subscribe
+//
+// The top subcommand polls a serve instance's /queries debug endpoint and
+// renders the N hottest standing queries:
+//
+//	paracosm top -addr 127.0.0.1:8080 -n 10 -by latency
 package main
 
 import (
@@ -50,6 +55,9 @@ func main() {
 			return
 		case "client":
 			clientMain(os.Args[2:])
+			return
+		case "top":
+			topMain(os.Args[2:])
 			return
 		}
 	}

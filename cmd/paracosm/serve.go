@@ -71,13 +71,15 @@ func serveMain(args []string) {
 		fatal(err)
 	}
 	if *debugAddr != "" {
-		dbg, err := obs.StartServer(*debugAddr, tracer, srv.WriteMetrics)
+		mux := obs.NewMux(tracer, srv.WriteMetrics, srv.WriteQueryMetrics)
+		mux.Handle("/queries", srv.QueriesHandler())
+		dbg, err := obs.StartHandler(*debugAddr, mux)
 		if err != nil {
 			srv.Close()
 			fatal(err)
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /trace /healthz /debug/pprof)\n", dbg.Addr())
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /trace /queries /healthz /debug/pprof)\n", dbg.Addr())
 	}
 	fmt.Fprintf(os.Stderr, "serving on %s (|V|=%d |E|=%d)\n", srv.Addr(), g.NumVertices(), g.NumEdges())
 
@@ -108,6 +110,7 @@ func clientMain(args []string) {
 		subscribe  = fs.Bool("subscribe", false, "subscribe to the registered query's match deltas")
 		chunk      = fs.Int("chunk", 256, "updates per wire frame")
 		verbose    = fs.Bool("v", false, "print every delta notification")
+		linger     = fs.Duration("linger", 0, "keep the connection (and its registered query) alive this long after reporting totals")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: paracosm client -name q1 -query query.txt [-stream updates.txt] [-subscribe] [options]")
@@ -207,4 +210,11 @@ func clientMain(args []string) {
 	fmt.Printf("accepted       : %d\n", accepted)
 	fmt.Printf("delta frames   : %d\n", frames)
 	fmt.Printf("matches        : +%d / -%d (dropped %d)\n", pos, neg, dropped+cl.Dropped())
+	if *linger > 0 {
+		// Hold the connection open so the registered query stays live —
+		// lets scripts probe the server's /queries endpoint and labeled
+		// metrics while a standing query exists (see serve_smoke.sh).
+		os.Stdout.Sync()
+		time.Sleep(*linger)
+	}
 }

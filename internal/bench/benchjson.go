@@ -58,7 +58,8 @@ type BenchReport struct {
 	StreamCap   int           `json:"stream_cap"`
 	Records     []BenchRecord `json:"records"`
 	// MultiQuery rows (schema 4) measure the shared-graph MultiEngine at
-	// increasing standing-query counts (see RunMultiBench).
+	// increasing standing-query counts (see RunMultiBench); schema 5 adds
+	// their per-stage pipeline latency fields (stage_*_us).
 	MultiQuery []MultiQueryRecord `json:"multi_query,omitempty"`
 }
 
@@ -84,7 +85,7 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 	}
 
 	report := BenchReport{
-		Schema:      4,
+		Schema:      5,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Threads:     threads,

@@ -10,6 +10,7 @@ import (
 	"paracosm/internal/core"
 	"paracosm/internal/dataset"
 	"paracosm/internal/metrics"
+	"paracosm/internal/obs"
 )
 
 // MultiQueryRecord is one standing-query-count row of the multi-query
@@ -38,6 +39,19 @@ type MultiQueryRecord struct {
 	Updates       int     `json:"updates"`
 	UpdatesPerSec float64 `json:"updates_per_sec"`
 	Matches       uint64  `json:"matches"`
+
+	// Per-stage mean latencies (schema 5), from the pipeline stage
+	// histograms the lockstep driver feeds (see obs.Stage). The bench
+	// harness submits batches directly — no ingestion queue — so the
+	// ingest_wait and assemble stages are honestly ~0 here; they become
+	// meaningful on serve-mode scrapes. The driver-measured stages split
+	// the per-update lockstep cost: pre-apply fan-out, shared commit,
+	// post-apply fan-out.
+	StageIngestWaitUS float64 `json:"stage_ingest_wait_us"`
+	StageAssembleUS   float64 `json:"stage_assemble_us"`
+	StagePreApplyUS   float64 `json:"stage_pre_apply_us"`
+	StageCommitUS     float64 `json:"stage_commit_us"`
+	StagePostApplyUS  float64 `json:"stage_post_apply_us"`
 }
 
 // heapAlloc returns the live-heap size after a full collection.
@@ -51,8 +65,9 @@ func heapAlloc() uint64 {
 // RunMultiBench measures the shared-graph MultiEngine at 100 / 1 000 /
 // 10 000 standing queries over the Amazon stand-in: registrations/sec,
 // marginal bytes per standing query against the clone-per-query baseline,
-// and lockstep ingestion throughput. Appended to the BENCH_*.json report
-// by RunBenchJSON (schema 4).
+// marginal bytes per standing query, lockstep ingestion throughput, and
+// (schema 5) the per-stage pipeline latency breakdown. Appended to the
+// BENCH_*.json report by RunBenchJSON.
 func (c Config) RunMultiBench() ([]MultiQueryRecord, error) {
 	c = c.Defaults()
 	d := c.data(dataset.AmazonSpec)
@@ -82,7 +97,11 @@ func (c Config) RunMultiBench() ([]MultiQueryRecord, error) {
 	for _, size := range []struct{ queries, updates int }{
 		{100, 200}, {1000, 100}, {10000, 30},
 	} {
-		m := core.NewMulti(core.Threads(c.Threads), core.Simulate(false))
+		// One tracer per row for the stage histograms. TrackQueries stays
+		// OFF: a per-query latency histogram would dominate the marginal
+		// bytes/query being measured below.
+		tr := obs.NewTracer(64)
+		m := core.NewMulti(core.Threads(c.Threads), core.Simulate(false), core.WithTracer(tr))
 		if err := m.Init(d.Graph); err != nil {
 			return nil, err
 		}
@@ -112,6 +131,7 @@ func (c Config) RunMultiBench() ([]MultiQueryRecord, error) {
 		total := m.TotalStats()
 		m.Close()
 
+		st := tr.Stages()
 		rec := MultiQueryRecord{
 			Dataset:             d.Name,
 			Algo:                entry.Name,
@@ -122,6 +142,11 @@ func (c Config) RunMultiBench() ([]MultiQueryRecord, error) {
 			Updates:             applied,
 			UpdatesPerSec:       metrics.Rate(uint64(applied), ingestElapsed),
 			Matches:             total.Positive + total.Negative,
+			StageIngestWaitUS:   usec(st.Hist(obs.StageIngestWait).Mean()),
+			StageAssembleUS:     usec(st.Hist(obs.StageAssemble).Mean()),
+			StagePreApplyUS:     usec(st.Hist(obs.StagePreApply).Mean()),
+			StageCommitUS:       usec(st.Hist(obs.StageCommit).Mean()),
+			StagePostApplyUS:    usec(st.Hist(obs.StagePostApply).Mean()),
 		}
 		if perQuery > 0 {
 			rec.CloneOverQuery = float64(cloneBytes) / perQuery

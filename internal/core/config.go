@@ -83,6 +83,14 @@ type Config struct {
 	// allocations; the callback must not block — a slow consumer stalls
 	// the update path.
 	OnDelta DeltaFunc
+
+	// TrackQueries attaches a per-query latency histogram to every engine
+	// a MultiEngine registers, feeding QuerySnapshots and the serving
+	// layer's /queries endpoint. Off by default: each histogram costs a
+	// few KB, which would dominate the per-query memory footprint of
+	// index-only workloads (the bench harness measures bytes/query with
+	// this off). Ignored by standalone engines.
+	TrackQueries bool
 }
 
 // DeltaFunc observes one processed update's incremental result (see
@@ -120,6 +128,9 @@ func WithTracer(t *obs.Tracer) Option { return func(c *Config) { c.Tracer = t } 
 
 // WithOnDelta attaches a match-delta callback (nil detaches).
 func WithOnDelta(f DeltaFunc) Option { return func(c *Config) { c.OnDelta = f } }
+
+// TrackQueries toggles per-query latency histograms in a MultiEngine.
+func TrackQueries(on bool) Option { return func(c *Config) { c.TrackQueries = on } }
 
 func defaultConfig() Config {
 	return Config{

@@ -57,6 +57,14 @@ type Engine struct {
 	// is driven in lockstep by a MultiEngine. The driver serializes the
 	// phases per engine, so no lock is needed.
 	shared sharedPending
+
+	// lat, if non-nil, observes every processed update's latency — the
+	// exact value accumulated into Stats.TTotal, at the same sites that
+	// increment Stats.Updates, so lat.Count() == Stats.Updates by
+	// construction. MultiEngine attaches it at registration when
+	// Config.TrackQueries is set (see QuerySnapshots); nil otherwise,
+	// costing one predictable branch per update.
+	lat *obs.Histogram
 }
 
 // New creates a ParaCOSM engine around algo.
@@ -289,14 +297,17 @@ func (e *Engine) account(d *csm.Delta, seqBusy, elapsed time.Duration) {
 		}
 		e.stats.ThreadBusy[0] += seqBusy
 	}
+	total := elapsed
 	if e.cfg.Simulate && e.cfg.Threads > 1 {
 		// In simulate mode TFind is already the simulated parallel time;
 		// wall-clock elapsed would double-count the sequential execution.
-		e.stats.TTotal += d.TADS + d.TFind
-	} else {
-		e.stats.TTotal += elapsed
+		total = d.TADS + d.TFind
 	}
+	e.stats.TTotal += total
 	e.statsMu.Unlock()
+	if e.lat != nil {
+		e.lat.Observe(total)
+	}
 }
 
 // Run processes the whole stream. With InterUpdate enabled, updates flow
@@ -539,6 +550,9 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 			}
 			e.stats.TTotal += total
 			e.statsMu.Unlock()
+			if e.lat != nil {
+				e.lat.Observe(total)
+			}
 			if e.cfg.Tracer != nil {
 				// Safe updates skip the search, so the event carries no
 				// nodes/matches — the interesting fields are the class

@@ -11,6 +11,7 @@ import (
 
 	"paracosm/internal/csm"
 	"paracosm/internal/graph"
+	"paracosm/internal/obs"
 	"paracosm/internal/query"
 	"paracosm/internal/stream"
 )
@@ -64,6 +65,41 @@ type MultiEngine struct {
 	undo    graph.UndoLog // guarded by mu — scratch journal for ProcessBatch's speculative validation
 	closed  Stats         // guarded by mu — retained tally of deregistered queries' Stats
 	closedN int           // guarded by mu — number of deregistered queries folded into closed
+
+	// closedLat retains the merged per-query latency histograms of
+	// deregistered queries (TrackQueries mode), mirroring closed for
+	// Stats. nil until the first tracked query deregisters.
+	closedLat *obs.Histogram // guarded by mu
+
+	// valid and validIdx are ProcessBatch's reusable validation scratch:
+	// the valid subsequence of the current batch and, for each valid
+	// update, its index in the original batch (for BatchTimes lookup).
+	// Reusing them keeps the steady-state serving path allocation-free.
+	valid    stream.Stream // guarded by mu
+	validIdx []int         // guarded by mu
+
+	// active is runSharedLocked's reusable fan-out scratch (the live
+	// queries of the current lockstep pass), for the same reason.
+	active []*multiQuery // guarded by mu
+
+	// fanCur is the current lockstep task, read by the persistent fan-out
+	// closures below. The driver writes it under mu before each fanOut
+	// barrier; worker goroutines read it only between the barrier's spawn
+	// and join, during which the driver does not touch it — the same
+	// publication discipline as the shared graph itself.
+	fanCur struct {
+		ctx       context.Context
+		upd       stream.Update
+		i         int
+		simBudget time.Duration
+	} // guarded by mu
+
+	// fanPrepare/fanCommit are the pre-apply and post-apply fan-out
+	// bodies, built once (lazily, under mu) so the per-update lockstep
+	// loop allocates no closures — part of the serving path's
+	// zero-allocation contract (see TestSharedPathAllocations).
+	fanPrepare func(*multiQuery) // guarded by mu
+	fanCommit  func(*multiQuery) // guarded by mu
 }
 
 type multiQuery struct {
@@ -120,6 +156,9 @@ func (m *MultiEngine) Init(g *graph.Graph) error {
 func (m *MultiEngine) initQueryLocked(mq *multiQuery) error {
 	mq.eng = New(mq.algo)
 	mq.eng.cfg = m.cfg
+	if m.cfg.TrackQueries {
+		mq.eng.lat = obs.NewHistogram()
+	}
 	if m.OnDelta != nil {
 		// One closure per query, built once at registration: tags the
 		// query name onto the engine-level callback. The driver serializes
@@ -173,6 +212,12 @@ func (m *MultiEngine) Deregister(name string) bool {
 			if mq.eng != nil {
 				m.closed.Add(mq.eng.Stats())
 				m.closedN++
+				if mq.eng.lat != nil {
+					if m.closedLat == nil {
+						m.closedLat = obs.NewHistogram()
+					}
+					m.closedLat.Merge(mq.eng.lat)
+				}
 				mq.eng.Close()
 			}
 			m.queries = append(m.queries[:i], m.queries[i+1:]...)
@@ -208,8 +253,49 @@ func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
 	if m.g == nil {
 		return fmt.Errorf("core: Run before Init")
 	}
-	m.runSharedLocked(ctx, s)
+	m.runSharedLocked(ctx, s, nil, nil)
 	return m.collectErrsLocked()
+}
+
+// BatchTimes carries the serving layer's queue timestamps for one batch
+// into ProcessBatchTimed, so the driver can attribute ingest-queue wait
+// and batch-assembly dwell to each update. Enqueued[i]/Dequeued[i] are
+// when batch[i] was admitted to the ingestion queue and picked up by the
+// ingestion loop; Flushed is when the assembled batch was submitted.
+// Missing slices or zero times observe as zero durations — the stage
+// sample counts stay intact either way.
+type BatchTimes struct {
+	Enqueued []time.Time
+	Dequeued []time.Time
+	Flushed  time.Time
+}
+
+// stageWaits returns the ingest-queue wait and assembly dwell for the
+// update at original batch index i (zeros when unknown). A nil receiver
+// is valid: callers without queue timestamps (Run, plain ProcessBatch)
+// observe zero-duration waits so counts still reconcile.
+func (bt *BatchTimes) stageWaits(i int) (wait, assemble time.Duration) {
+	if bt == nil {
+		return 0, 0
+	}
+	var enq, deq time.Time
+	if i < len(bt.Enqueued) {
+		enq = bt.Enqueued[i]
+	}
+	if i < len(bt.Dequeued) {
+		deq = bt.Dequeued[i]
+	}
+	if !enq.IsZero() && !deq.IsZero() {
+		if wait = deq.Sub(enq); wait < 0 {
+			wait = 0
+		}
+	}
+	if !deq.IsZero() && !bt.Flushed.IsZero() {
+		if assemble = bt.Flushed.Sub(deq); assemble < 0 {
+			assemble = 0
+		}
+	}
+	return wait, assemble
 }
 
 // ProcessBatch is the serving-mode ingestion step. Validation is a
@@ -232,30 +318,68 @@ func (m *MultiEngine) Run(ctx context.Context, s stream.Stream) error {
 // error (errors.Join, as in Run) is returned and the recorded errors are
 // cleared.
 func (m *MultiEngine) ProcessBatch(ctx context.Context, batch stream.Stream) (applied int, err error) {
+	return m.ProcessBatchTimed(ctx, batch, nil)
+}
+
+// ProcessBatchTimed is ProcessBatch with queue timestamps: when the
+// engine has a Tracer, each applied update's ingest-queue wait and
+// batch-assembly dwell (from bt, which may be nil) are observed into the
+// pipeline stage histograms alongside the driver-measured pre-apply,
+// commit and post-apply stages. Every per-update stage is observed
+// exactly once per applied update — on the same code path that counts
+// the update applied — so stage sample counts reconcile with the
+// applied-update count by construction.
+func (m *MultiEngine) ProcessBatchTimed(ctx context.Context, batch stream.Stream, bt *BatchTimes) (applied int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.g == nil {
 		return 0, fmt.Errorf("core: ProcessBatch before Init")
 	}
 	m.undo.Reset()
-	valid := batch[:0:0]
-	for _, upd := range batch {
+	m.valid = m.valid[:0]
+	m.validIdx = m.validIdx[:0]
+	// With zero queries the speculative apply below IS the commit (the
+	// batch state is kept, see the zero-query branch), so the stage
+	// observation happens here rather than in runSharedLocked.
+	tr := m.cfg.Tracer
+	stageHere := tr != nil && len(m.queries) == 0
+	var clk obs.StageClock
+	for i, upd := range batch {
+		if stageHere {
+			clk.Start()
+		}
 		if upd.ApplyLogged(m.g, &m.undo) == nil {
-			valid = append(valid, upd)
+			if stageHere {
+				commit := clk.Lap()
+				wait, assemble := bt.stageWaits(i)
+				st := tr.Stages()
+				st.Observe(obs.StageIngestWait, wait)
+				st.Observe(obs.StageAssemble, assemble)
+				st.Observe(obs.StagePreApply, 0)
+				st.Observe(obs.StageCommit, commit)
+				st.Observe(obs.StagePostApply, 0)
+				tr.Stage(obs.Event{
+					Op: upd.Op.String(), U: uint32(upd.U), V: uint32(upd.V),
+					IngestWait: wait, Assemble: assemble, Commit: commit,
+					Total: wait + assemble + commit,
+				})
+			}
+			m.valid = append(m.valid, upd)
+			m.validIdx = append(m.validIdx, i)
 		}
 	}
-	if len(valid) == 0 {
+	if len(m.valid) == 0 {
 		return 0, nil
 	}
 	if len(m.queries) == 0 {
 		// No queries to drive: the speculative apply already left the
 		// shared graph at the post-batch state, so keep it.
 		m.undo.Reset()
-		return len(valid), nil
+		return len(m.valid), nil
 	}
 	m.undo.Rollback(m.g)
-	m.runSharedLocked(ctx, valid)
-	return len(valid), m.collectErrsLocked()
+	m.runSharedLocked(ctx, m.valid, bt, m.validIdx)
+	return len(m.valid), m.collectErrsLocked()
 }
 
 // runSharedLocked drives s through every registered query in lockstep:
@@ -266,11 +390,36 @@ func (m *MultiEngine) ProcessBatch(ctx context.Context, batch stream.Stream) (ap
 // whose engine reports an error is skipped for the remainder of the call
 // (its index no longer tracks the shared graph); the error is left in
 // mq.err for collectErrsLocked.
-func (m *MultiEngine) runSharedLocked(ctx context.Context, s stream.Stream) {
-	active := make([]*multiQuery, 0, len(m.queries))
+//
+// With a Tracer configured, the driver observes each fully-applied
+// update's pipeline stages (ingest wait and assembly dwell from bt/idx,
+// pre-apply, commit, post-apply measured here) and emits one ClassStage
+// ring event. All five stages are observed together after the post-apply
+// fan-out, so their sample counts are identical by construction — an
+// update aborted mid-loop (trusted-stream apply error) observes nothing.
+// bt may be nil (waits observe as zero); idx maps s's positions to
+// original batch indices for bt lookup (nil means identity).
+func (m *MultiEngine) runSharedLocked(ctx context.Context, s stream.Stream, bt *BatchTimes, idx []int) {
+	active := m.active[:0]
 	for _, mq := range m.queries {
 		if mq.err == nil {
 			active = append(active, mq)
+		}
+	}
+	m.active = active
+	if m.fanPrepare == nil {
+		// Built once per MultiEngine: the closures read the current task
+		// from m.fanCur, so the lockstep loop below never allocates.
+		m.fanPrepare = func(mq *multiQuery) {
+			mq.eng.sharedPrepare(m.fanCur.ctx, m.fanCur.upd)
+		}
+		m.fanCommit = func(mq *multiQuery) {
+			cur := &m.fanCur
+			if _, err := mq.eng.sharedCommit(cur.ctx, cur.upd); err != nil {
+				mq.err = fmt.Errorf("update %d (%v): %w", cur.i, cur.upd, err)
+			} else if cur.simBudget > 0 && mq.eng.totalElapsed() > cur.simBudget {
+				mq.err = fmt.Errorf("update %d: %w", cur.i, csm.ErrDeadline)
+			}
 		}
 	}
 	// Simulated-time budget, as in Engine.Run: under schedule simulation a
@@ -289,23 +438,31 @@ func (m *MultiEngine) runSharedLocked(ctx context.Context, s stream.Stream) {
 			}
 		}()
 	}
+	tr := m.cfg.Tracer
+	var clk obs.StageClock
 	for i, upd := range s {
+		m.fanCur.ctx, m.fanCur.upd, m.fanCur.i, m.fanCur.simBudget = ctx, upd, i, simBudget
 		if len(active) == 0 && len(m.queries) > 0 {
 			// Every query failed; stop early — the remaining updates would
 			// only advance a graph nobody observes, and the serving layer
 			// discards the MultiEngine on error anyway.
 			return
 		}
+		if tr != nil {
+			clk.Start()
+		}
 		if upd.IsEdge() {
 			// Vertex ops have a trivial pre-apply phase (classVertexOp,
 			// no enumeration); skip the fan-out barrier for them.
-			fanOut(active, func(mq *multiQuery) {
-				mq.eng.sharedPrepare(ctx, upd)
-			})
+			fanOut(active, m.fanPrepare)
 		} else {
 			for _, mq := range active {
 				mq.eng.shared = sharedPending{verdict: classVertexOp}
 			}
+		}
+		var preApply time.Duration
+		if tr != nil {
+			preApply = clk.Lap()
 		}
 		if err := upd.Apply(m.g); err != nil {
 			for _, mq := range active {
@@ -313,13 +470,31 @@ func (m *MultiEngine) runSharedLocked(ctx context.Context, s stream.Stream) {
 			}
 			return
 		}
-		fanOut(active, func(mq *multiQuery) {
-			if _, err := mq.eng.sharedCommit(ctx, upd); err != nil {
-				mq.err = fmt.Errorf("update %d (%v): %w", i, upd, err)
-			} else if simBudget > 0 && mq.eng.totalElapsed() > simBudget {
-				mq.err = fmt.Errorf("update %d: %w", i, csm.ErrDeadline)
+		var commit time.Duration
+		if tr != nil {
+			commit = clk.Lap()
+		}
+		fanOut(active, m.fanCommit)
+		if tr != nil {
+			postApply := clk.Lap()
+			orig := i
+			if idx != nil {
+				orig = idx[i]
 			}
-		})
+			wait, assemble := bt.stageWaits(orig)
+			st := tr.Stages()
+			st.Observe(obs.StageIngestWait, wait)
+			st.Observe(obs.StageAssemble, assemble)
+			st.Observe(obs.StagePreApply, preApply)
+			st.Observe(obs.StageCommit, commit)
+			st.Observe(obs.StagePostApply, postApply)
+			tr.Stage(obs.Event{
+				Op: upd.Op.String(), U: uint32(upd.U), V: uint32(upd.V),
+				IngestWait: wait, Assemble: assemble, PreApply: preApply,
+				Commit: commit, PostApply: postApply,
+				Total: wait + assemble + preApply + commit + postApply,
+			})
+		}
 		// Compact out queries that just failed.
 		n := active[:0]
 		for _, mq := range active {
@@ -425,6 +600,56 @@ func (m *MultiEngine) ClosedStats() (Stats, int) {
 	s := m.closed
 	s.ThreadBusy = append([]time.Duration(nil), m.closed.ThreadBusy...)
 	return s, m.closedN
+}
+
+// QuerySnapshot is one live query's observability view: its cumulative
+// Stats plus latency quantiles from the per-query histogram (zeros unless
+// the engine was built with TrackQueries). The serving layer's /queries
+// endpoint and labeled /metrics series are rendered from these.
+type QuerySnapshot struct {
+	Name  string
+	Stats Stats
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// QuerySnapshots returns a snapshot per live query, in registration
+// order. Deregistered queries are excluded; their merged latency
+// histogram is available from ClosedLatency.
+func (m *MultiEngine) QuerySnapshots() []QuerySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]QuerySnapshot, 0, len(m.queries))
+	for _, mq := range m.queries {
+		if mq.eng == nil {
+			continue
+		}
+		qs := QuerySnapshot{Name: mq.name, Stats: mq.eng.Stats()}
+		if h := mq.eng.lat; h != nil && h.Count() > 0 {
+			qs.P50 = h.Quantile(0.50)
+			qs.P90 = h.Quantile(0.90)
+			qs.P99 = h.Quantile(0.99)
+			qs.Max = h.Max()
+		}
+		out = append(out, qs)
+	}
+	return out
+}
+
+// ClosedLatency returns a copy of the merged per-update latency histogram
+// of every deregistered tracked query (the latency counterpart of
+// ClosedStats), or nil when no tracked query has deregistered.
+func (m *MultiEngine) ClosedLatency() *obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closedLat == nil {
+		return nil
+	}
+	h := obs.NewHistogram()
+	h.Merge(m.closedLat)
+	return h
 }
 
 // TotalStats returns the sum of every query's Stats, live and

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"paracosm/internal/algo/algotest"
+	"paracosm/internal/graph"
+	"paracosm/internal/obs"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// TestMultiStageCountsReconcile is the acceptance invariant of the
+// pipeline tracing layer: after any mix of batches — including invalid
+// updates that the speculative apply filters out — every per-update
+// stage histogram holds EXACTLY one sample per applied update. Run under
+// -race this also exercises QuerySnapshots/TotalStats readers against
+// the lockstep driver.
+func TestMultiStageCountsReconcile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := algotest.RandomGraph(rng, 30, 60, 2, 1)
+	qA := algotest.RandomQuery(rng, g, 3)
+	qB := algotest.RandomQuery(rng, g, 3)
+	if qA == nil || qB == nil {
+		t.Skip("no queries")
+	}
+	s := algotest.RandomStream(rng, g, 120, 0.7, 1)
+
+	tr := obs.NewTracer(1 << 10)
+	m := NewMulti(Threads(2), WithTracer(tr))
+	defer m.Close()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterLive("a", algotest.Factories()[2].New(), qA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterLive("b", algotest.Factories()[4].New(), qB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent observability readers, racing the lockstep driver.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, qs := range m.QuerySnapshots() {
+				_ = qs.Stats.Updates
+			}
+			_ = m.TotalStats()
+		}
+	}()
+
+	ctx := context.Background()
+	applied, submitted := 0, 0
+	for off := 0; off < len(s); off += 16 {
+		end := off + 16
+		if end > len(s) {
+			end = len(s)
+		}
+		chunk := append(stream.Stream(nil), s[off:end]...)
+		// A guaranteed-invalid update (self-loop delete that was never
+		// inserted): filtered by the speculative apply, so it must NOT
+		// contribute stage samples.
+		chunk = append(chunk, stream.Update{Op: stream.DeleteEdge, U: 0, V: 0})
+		var bt *BatchTimes
+		if off == 0 {
+			// One timed batch: queue waits must flow into the wait stages.
+			now := time.Now()
+			bt = &BatchTimes{Flushed: now}
+			for range chunk {
+				bt.Enqueued = append(bt.Enqueued, now.Add(-10*time.Millisecond))
+				bt.Dequeued = append(bt.Dequeued, now.Add(-2*time.Millisecond))
+			}
+		}
+		n, err := m.ProcessBatchTimed(ctx, chunk, bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied += n
+		submitted += len(chunk)
+	}
+	close(stop)
+	wg.Wait()
+
+	if applied >= submitted {
+		t.Fatalf("no invalid updates filtered (applied %d of %d); the test lost its point", applied, submitted)
+	}
+	st := tr.Stages()
+	for _, stg := range obs.UpdateStages {
+		if got := st.Hist(stg).Count(); got != uint64(applied) {
+			t.Errorf("stage %v count = %d, want applied %d", stg, got, applied)
+		}
+	}
+	if ws := st.Hist(obs.StageIngestWait).Sum(); ws < 8*time.Millisecond {
+		t.Errorf("ingest-wait sum %v; the timed batch's queue waits never landed", ws)
+	}
+	if as := st.Hist(obs.StageAssemble).Sum(); as < time.Millisecond {
+		t.Errorf("assemble sum %v; the timed batch's dwell never landed", as)
+	}
+
+	// The ring carries one ClassStage event per applied update, each
+	// internally consistent.
+	stageEvents := 0
+	for _, ev := range tr.Ring().Snapshot() {
+		if ev.Class != obs.ClassStage {
+			continue
+		}
+		stageEvents++
+		if sum := ev.IngestWait + ev.Assemble + ev.PreApply + ev.Commit + ev.PostApply; sum != ev.Total {
+			t.Errorf("stage event parts %v != total %v", sum, ev.Total)
+		}
+	}
+	if stageEvents != applied {
+		t.Errorf("ring stage events = %d, want applied %d", stageEvents, applied)
+	}
+
+	// Per-query engines each saw every applied update.
+	for _, qs := range m.QuerySnapshots() {
+		if qs.Stats.Updates != applied {
+			t.Errorf("query %q processed %d updates, want %d", qs.Name, qs.Stats.Updates, applied)
+		}
+	}
+}
+
+// TestMultiStageZeroQueryPath: with no registered queries the speculative
+// apply IS the commit, and stage counts must still reconcile with the
+// applied count (pre/post-apply observed as zero-duration samples).
+func TestMultiStageZeroQueryPath(t *testing.T) {
+	g := graph.New(0)
+	for i := 0; i < 6; i++ {
+		g.AddVertex(0)
+	}
+	tr := obs.NewTracer(256)
+	m := NewMulti(WithTracer(tr))
+	defer m.Close()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	batch := stream.Stream{
+		{Op: stream.AddEdge, U: 0, V: 1},
+		{Op: stream.AddEdge, U: 1, V: 2},
+		{Op: stream.AddEdge, U: 0, V: 1}, // duplicate: invalid
+		{Op: stream.DeleteEdge, U: 0, V: 1},
+	}
+	applied, err := m.ProcessBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied = %d, want 3", applied)
+	}
+	st := tr.Stages()
+	for _, stg := range obs.UpdateStages {
+		if got := st.Hist(stg).Count(); got != uint64(applied) {
+			t.Errorf("stage %v count = %d, want %d", stg, got, applied)
+		}
+	}
+	// No queries: the fan-out stages are zero-duration placeholders.
+	if st.Hist(obs.StagePreApply).Sum() != 0 || st.Hist(obs.StagePostApply).Sum() != 0 {
+		t.Errorf("zero-query path recorded fan-out time: pre=%v post=%v",
+			st.Hist(obs.StagePreApply).Sum(), st.Hist(obs.StagePostApply).Sum())
+	}
+}
+
+// TestQuerySnapshotsAndClosedLatency covers the per-query tracer
+// lifecycle: TrackQueries engines expose latency quantiles through
+// QuerySnapshots, and a deregistered query's histogram survives into
+// ClosedLatency — as a defensive copy, not a live reference.
+func TestQuerySnapshotsAndClosedLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := algotest.RandomGraph(rng, 25, 50, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g, 80, 0.7, 1)
+
+	m := NewMulti(Threads(1), TrackQueries(true))
+	defer m.Close()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterLive("a", algotest.Factories()[2].New(), q); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterLive("b", algotest.Factories()[4].New(), q); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := m.ProcessBatch(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("no updates applied")
+	}
+
+	snaps := m.QuerySnapshots()
+	if len(snaps) != 2 || snaps[0].Name != "a" || snaps[1].Name != "b" {
+		t.Fatalf("snapshots = %+v, want a,b in registration order", snaps)
+	}
+	for _, qs := range snaps {
+		if qs.Stats.Updates != applied {
+			t.Errorf("query %q updates = %d, want %d", qs.Name, qs.Stats.Updates, applied)
+		}
+		if qs.Max <= 0 {
+			t.Errorf("query %q has no latency quantiles despite TrackQueries", qs.Name)
+		}
+		if qs.P50 > qs.P90 || qs.P90 > qs.P99 || qs.P99 > qs.Max {
+			t.Errorf("query %q quantiles not monotone: %v %v %v %v", qs.Name, qs.P50, qs.P90, qs.P99, qs.Max)
+		}
+	}
+
+	if m.ClosedLatency() != nil {
+		t.Fatal("ClosedLatency non-nil before any deregistration")
+	}
+	if !m.Deregister("a") {
+		t.Fatal("deregister failed")
+	}
+	cl := m.ClosedLatency()
+	if cl == nil {
+		t.Fatal("ClosedLatency nil after deregistering a tracked query")
+	}
+	if cl.Count() != uint64(applied) {
+		t.Fatalf("closed latency count = %d, want %d", cl.Count(), applied)
+	}
+	// The returned histogram is a copy: mutating it must not leak back.
+	cl.Observe(time.Hour)
+	if again := m.ClosedLatency(); again.Count() != uint64(applied) {
+		t.Fatalf("ClosedLatency returned a live reference (count %d)", again.Count())
+	}
+	if got := len(m.QuerySnapshots()); got != 1 {
+		t.Fatalf("snapshots after deregister = %d, want 1", got)
+	}
+}
+
+// sharedAllocsPerUpdate measures steady-state allocations per update
+// through the full serving-mode path (ProcessBatchTimed over a
+// MultiEngine with one registered query), with the allocation-free probe
+// algorithm isolating the driver's own cost.
+func sharedAllocsPerUpdate(t *testing.T, bt *BatchTimes, opts ...Option) float64 {
+	t.Helper()
+	g := graph.New(0)
+	for i := 0; i < 4; i++ {
+		g.AddVertex(0)
+	}
+	opts = append([]Option{Threads(1), InterUpdate(false)}, opts...)
+	m := NewMulti(opts...)
+	defer m.Close()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.New([]graph.Label{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterLive("probe", &allocProbeAlgo{roots: 4}, q); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	batch := stream.Stream{
+		{Op: stream.AddEdge, U: 0, V: 1},
+		{Op: stream.DeleteEdge, U: 0, V: 1},
+	}
+	cycle := func() {
+		if _, err := m.ProcessBatchTimed(ctx, batch, bt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		cycle()
+	}
+	return testing.AllocsPerRun(200, cycle) / float64(len(batch))
+}
+
+// TestSharedPathAllocations pins the serving-path zero-allocation
+// guarantee end to end at the driver level: with no tracer the lockstep
+// ProcessBatch path performs zero allocations per update, and attaching
+// a tracer — stage clocks, stage histograms, ring events, queue
+// timestamps — adds none.
+func TestSharedPathAllocations(t *testing.T) {
+	nilAllocs := sharedAllocsPerUpdate(t, nil)
+	tracedAllocs := sharedAllocsPerUpdate(t, nil, WithTracer(obs.NewTracer(64)))
+	now := time.Now()
+	bt := &BatchTimes{
+		Enqueued: []time.Time{now, now},
+		Dequeued: []time.Time{now, now},
+		Flushed:  now,
+	}
+	timedAllocs := sharedAllocsPerUpdate(t, bt, WithTracer(obs.NewTracer(64)))
+	if nilAllocs != 0 {
+		t.Errorf("nil-tracer shared path allocates %.2f per update, want 0", nilAllocs)
+	}
+	if tracedAllocs != 0 {
+		t.Errorf("traced shared path allocates %.2f per update, want 0", tracedAllocs)
+	}
+	if timedAllocs != 0 {
+		t.Errorf("traced+timed shared path allocates %.2f per update, want 0", timedAllocs)
+	}
+}

@@ -159,6 +159,9 @@ func (e *Engine) sharedCommit(ctx context.Context, upd stream.Update) (csm.Delta
 	}
 	e.stats.TTotal += total
 	e.statsMu.Unlock()
+	if e.lat != nil {
+		e.lat.Observe(total)
+	}
 	d := csm.Delta{TADS: tads}
 	if e.cfg.Tracer != nil {
 		var r innerResult

@@ -163,6 +163,8 @@ func TestNoAllocPinsHotPath(t *testing.T) {
 			"SearchIDs", "AdvanceIDs",
 			"IntersectNeighborIDs", "IntersectIDsNeighbors", "IntersectIDs",
 		},
+		"../obs/stage.go":  {"Observe", "Start", "Mark", "Lap"},
+		"../obs/tracer.go": {"ServerEvent", "Stage"},
 	}
 	for file, fns := range pins {
 		data, err := os.ReadFile(file)

@@ -10,8 +10,12 @@ import (
 // Analysis is the offline digest of a JSONL trace: the per-phase time
 // breakdown and the top-k straggler updates, the two questions a trace
 // dump exists to answer ("where did the time go" and "which updates").
+// Serving-layer lifecycle events (Class "server") and pipeline stage
+// events (Class "stage") are segregated into their own tallies — folding
+// them into the update totals would skew the phase fractions and latency
+// quantiles of serve-mode trace dumps with zero-duration srv:* rows.
 type Analysis struct {
-	Events       int
+	Events       int // per-update engine events only
 	ByClass      map[string]int
 	Escalations  int
 	Timeouts     int
@@ -27,17 +31,53 @@ type Analysis struct {
 
 	// Stragglers holds the k slowest updates by Total, slowest first.
 	Stragglers []Event
+
+	// ServerEvents counts Class "server" rows; ByServerOp tallies them
+	// per srv:* op (the Matches field carries each event's count).
+	ServerEvents int
+	ByServerOp   map[string]uint64
+
+	// StageEvents counts Class "stage" rows (one per applied update in a
+	// lockstep-driven trace); Stages sums their per-stage durations.
+	StageEvents int
+	Stages      StageBreakdown
+}
+
+// StageBreakdown is the summed pipeline stage time of a trace's stage
+// events (see obs.Stage for the stage model).
+type StageBreakdown struct {
+	IngestWait, Assemble, PreApply, Commit, PostApply time.Duration
+}
+
+// Total returns the summed time across all stages.
+func (b StageBreakdown) Total() time.Duration {
+	return b.IngestWait + b.Assemble + b.PreApply + b.Commit + b.PostApply
 }
 
 // Analyze digests a slice of trace events; topK bounds len(Stragglers).
 func Analyze(evs []Event, topK int) Analysis {
-	a := Analysis{Events: len(evs), ByClass: map[string]int{}}
+	a := Analysis{ByClass: map[string]int{}, ByServerOp: map[string]uint64{}}
 	if len(evs) == 0 {
 		return a
 	}
-	totals := make([]time.Duration, 0, len(evs))
+	updates := make([]Event, 0, len(evs))
 	for i := range evs {
 		ev := &evs[i]
+		switch ev.Class {
+		case ClassServer:
+			a.ServerEvents++
+			a.ByServerOp[ev.Op] += ev.Matches
+			continue
+		case ClassStage:
+			a.StageEvents++
+			a.Stages.IngestWait += ev.IngestWait
+			a.Stages.Assemble += ev.Assemble
+			a.Stages.PreApply += ev.PreApply
+			a.Stages.Commit += ev.Commit
+			a.Stages.PostApply += ev.PostApply
+			continue
+		}
+		a.Events++
 		a.ByClass[ev.Class]++
 		if ev.Escalated {
 			a.Escalations++
@@ -53,7 +93,14 @@ func Analyze(evs []Event, topK int) Analysis {
 		a.ADS += ev.ADS
 		a.Find += ev.Find
 		a.Total += ev.Total
-		totals = append(totals, ev.Total)
+		updates = append(updates, *ev)
+	}
+	if a.Events == 0 {
+		return a
+	}
+	totals := make([]time.Duration, 0, len(updates))
+	for i := range updates {
+		totals = append(totals, updates[i].Total)
 	}
 	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
 	q := func(p float64) time.Duration {
@@ -70,7 +117,7 @@ func Analyze(evs []Event, topK int) Analysis {
 	a.Max = totals[len(totals)-1]
 
 	if topK > 0 {
-		sorted := append([]Event(nil), evs...)
+		sorted := append([]Event(nil), updates...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total > sorted[j].Total })
 		if topK > len(sorted) {
 			topK = len(sorted)
@@ -84,6 +131,31 @@ func Analyze(evs []Event, topK int) Analysis {
 func (a Analysis) Render(w io.Writer) {
 	fmt.Fprintf(w, "events        : %d (%d escalated, %d timed out, %d reclassified)\n",
 		a.Events, a.Escalations, a.Timeouts, a.Reclassified)
+	if a.ServerEvents > 0 {
+		ops := make([]string, 0, len(a.ByServerOp))
+		for op := range a.ByServerOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		fmt.Fprintf(w, "server events : %d —", a.ServerEvents)
+		for _, op := range ops {
+			fmt.Fprintf(w, " %s=%d", op, a.ByServerOp[op])
+		}
+		fmt.Fprintln(w)
+	}
+	if a.StageEvents > 0 {
+		total := a.Stages.Total()
+		share := func(d time.Duration) float64 {
+			if total <= 0 {
+				return 0
+			}
+			return 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(w, "pipeline      : %d staged updates, %v total\n", a.StageEvents, total.Round(time.Microsecond))
+		fmt.Fprintf(w, "stage shares  : ingest-wait %.1f%%  assemble %.1f%%  pre-apply %.1f%%  commit %.1f%%  post-apply %.1f%%\n",
+			share(a.Stages.IngestWait), share(a.Stages.Assemble),
+			share(a.Stages.PreApply), share(a.Stages.Commit), share(a.Stages.PostApply))
+	}
 	if a.Events == 0 {
 		return
 	}

@@ -45,6 +45,15 @@ type Event struct {
 	ADS   time.Duration `json:"ads_ns"`
 	Find  time.Duration `json:"find_ns"`
 	Total time.Duration `json:"total_ns"`
+
+	// Pipeline stage durations, set only on ClassStage events (one per
+	// applied update, emitted by the lockstep driver; see obs.Stage).
+	// Zero and omitted on per-update engine and server events.
+	IngestWait time.Duration `json:"stage_ingest_wait_ns,omitempty"`
+	Assemble   time.Duration `json:"stage_assemble_ns,omitempty"`
+	PreApply   time.Duration `json:"stage_pre_apply_ns,omitempty"`
+	Commit     time.Duration `json:"stage_commit_ns,omitempty"`
+	PostApply  time.Duration `json:"stage_post_apply_ns,omitempty"`
 }
 
 // Ring is a fixed-capacity buffer of the most recent Events with

@@ -29,6 +29,13 @@ type MetricsFunc func(w io.Writer) error
 // mid-stream. Any extra MetricsFuncs are appended to the /metrics payload
 // after the tracer's own series.
 func Handler(t *Tracer, extra ...MetricsFunc) http.Handler {
+	return NewMux(t, extra...)
+}
+
+// NewMux is Handler returning the concrete mux, for callers that mount
+// additional debug routes (e.g. the serving layer's /queries endpoint)
+// before passing it to StartHandler.
+func NewMux(t *Tracer, extra ...MetricsFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -82,12 +89,18 @@ type Server struct {
 // the debug mux for t in a background goroutine until Close. Extra
 // MetricsFuncs extend the /metrics payload (see Handler).
 func StartServer(addr string, t *Tracer, extra ...MetricsFunc) (*Server, error) {
+	return StartHandler(addr, Handler(t, extra...))
+}
+
+// StartHandler is StartServer for a caller-built handler (e.g. a NewMux
+// with extra routes mounted).
+func StartHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		srv:  &http.Server{Handler: Handler(t, extra...), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
 		addr: ln.Addr(),
 		done: make(chan struct{}),
 	}

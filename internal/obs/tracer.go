@@ -46,7 +46,45 @@ const (
 	ClassSafeDegree = "safe:degree"
 	ClassSafeADS    = "safe:ads"
 	ClassVertex     = "vertex"
+	// ClassServer marks serving-layer lifecycle events (srv:* ops): they
+	// carry no per-update phase times and bypass the update counters.
+	ClassServer = "server"
+	// ClassStage marks pipeline stage events emitted by the lockstep
+	// driver, one per applied update, carrying the stage durations.
+	ClassStage = "stage"
 )
+
+// ServerOp enumerates the serving-layer lifecycle events a Tracer counts
+// (see Tracer.ServerEvent). The fixed set keeps the observation path
+// allocation-free and the /metrics series stable.
+type ServerOp int
+
+const (
+	SrvAccept ServerOp = iota
+	SrvReject
+	SrvRegister
+	SrvDeregister
+	SrvSubscribe
+	SrvIngest
+	SrvDrop
+	SrvDisconnect
+	numServerOps
+)
+
+// srvOpRingNames are the trace-ring Op strings ("srv:"-prefixed),
+// precomputed so appending a server event never concatenates.
+var srvOpRingNames = [numServerOps]string{
+	"srv:accept", "srv:reject", "srv:register", "srv:deregister",
+	"srv:subscribe", "srv:ingest", "srv:drop", "srv:disconnect",
+}
+
+// String returns the bare op name (the `op` label on /metrics).
+func (o ServerOp) String() string {
+	if o >= 0 && o < numServerOps {
+		return srvOpRingNames[o][len("srv:"):]
+	}
+	return fmt.Sprintf("ServerOp(%d)", int(o))
+}
 
 // Tracer is the aggregation point the engine emits into (attach one via
 // core.Config.Tracer). It owns a bounded trace ring of recent per-update
@@ -58,9 +96,12 @@ const (
 // bench harness): every method is safe for concurrent use, and the
 // counters then aggregate across all of them.
 type Tracer struct {
-	seq   atomic.Uint64
-	ring  *Ring
-	hists [numPhases]*Histogram
+	seq    atomic.Uint64
+	ring   *Ring
+	hists  [numPhases]*Histogram
+	stages *StageSet
+
+	srvCounts [numServerOps]atomic.Uint64
 
 	updates     atomic.Uint64
 	safe        atomic.Uint64
@@ -84,11 +125,58 @@ func NewTracer(ringCap int) *Tracer {
 	if ringCap <= 0 {
 		ringCap = DefaultRingCap
 	}
-	t := &Tracer{ring: NewRing(ringCap)}
+	t := &Tracer{ring: NewRing(ringCap), stages: NewStageSet()}
 	for i := range t.hists {
 		t.hists[i] = NewHistogram()
 	}
 	return t
+}
+
+// Stages returns the tracer's pipeline stage histograms (see stage.go):
+// the lockstep driver and the serving layer observe into them directly.
+func (t *Tracer) Stages() *StageSet { return t.stages }
+
+// ServerEvent records one serving-layer lifecycle event: the per-op
+// counter is incremented by n and one ClassServer event (Op "srv:<op>",
+// Matches = n) enters the trace ring. Server events deliberately bypass
+// Update so the per-update counters and latency histograms stay
+// engine-only. Allocation-free (fixed op set, precomputed Op strings).
+//
+//paracosm:noalloc
+func (t *Tracer) ServerEvent(op ServerOp, n uint64) {
+	if op < 0 || op >= numServerOps {
+		return
+	}
+	t.srvCounts[op].Add(n)
+	t.ring.Append(Event{
+		Seq:     t.NextSeq(),
+		Op:      srvOpRingNames[op],
+		Class:   ClassServer,
+		Matches: n,
+	})
+}
+
+// ServerCount returns the cumulative count for one server op.
+func (t *Tracer) ServerCount(op ServerOp) uint64 {
+	if op < 0 || op >= numServerOps {
+		return 0
+	}
+	return t.srvCounts[op].Load()
+}
+
+// Stage records one pipeline stage event in the trace ring (ClassStage,
+// one per applied update, emitted by the lockstep driver). The stage
+// durations ride in the Event's stage fields; a Seq is assigned when
+// zero. The per-stage histograms are observed separately by the driver
+// (see StageSet) — this only feeds /trace.
+//
+//paracosm:noalloc
+func (t *Tracer) Stage(ev Event) {
+	if ev.Seq == 0 {
+		ev.Seq = t.NextSeq()
+	}
+	ev.Class = ClassStage
+	t.ring.Append(ev)
 }
 
 // NextSeq allocates the next update sequence number (1-based).
@@ -191,6 +279,17 @@ func (t *Tracer) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// Serving-layer lifecycle event counts (srv:* trace events). The full
+	// fixed op set is always emitted, zeros included, so the series exist
+	// before the first event and scrapers can alert on their absence.
+	if _, err := fmt.Fprintf(w, "# HELP paracosm_server_events_total Serving-layer lifecycle events recorded in the trace ring, by op.\n# TYPE paracosm_server_events_total counter\n"); err != nil {
+		return err
+	}
+	for op := ServerOp(0); op < numServerOps; op++ {
+		if _, err := fmt.Fprintf(w, "paracosm_server_events_total{op=%q} %d\n", op.String(), t.srvCounts[op].Load()); err != nil {
+			return err
+		}
+	}
 	for p := Phase(0); p < numPhases; p++ {
 		name := "paracosm_update_" + p.String() + "_seconds"
 		if p == PhaseClassify {
@@ -200,5 +299,36 @@ func (t *Tracer) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return t.stages.WritePrometheus(w)
+}
+
+// EscapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double-quote and newline must be backslash-escaped.
+// Serving-layer metrics use it for client-supplied query names.
+func EscapeLabel(v string) string {
+	// Fast path: nothing to escape.
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	out := make([]byte, 0, len(v)+8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
 }

@@ -101,10 +101,30 @@ func (c *Config) normalize() {
 
 // ingestMsg is one element of the ingestion queue: a single update, or a
 // flush barrier (done != nil) released once every update queued before it
-// has been processed and fanned out.
+// has been processed and fanned out. enq is the admission time, stamped
+// only when the server has a tracer (it feeds the ingest_wait pipeline
+// stage).
 type ingestMsg struct {
 	upd  stream.Update
 	done chan struct{}
+	enq  time.Time
+}
+
+// pendingBatch is the ingestion loop's accumulation state: the updates
+// being folded into the next ProcessBatch call plus their queue
+// timestamps (parallel to upds; populated only when tracing). All slices
+// are reused across batches, so the steady-state ingest path does not
+// allocate.
+type pendingBatch struct {
+	upds stream.Stream
+	bt   core.BatchTimes
+}
+
+func (b *pendingBatch) reset() {
+	b.upds = b.upds[:0]
+	b.bt.Enqueued = b.bt.Enqueued[:0]
+	b.bt.Dequeued = b.bt.Dequeued[:0]
+	b.bt.Flushed = time.Time{}
 }
 
 // Server is a running streaming CSM service: an accept loop, two
@@ -198,9 +218,12 @@ func (cn *conn) offerDelta(f *Frame) bool {
 // and the caller's g is not retained.
 func Start(g *graph.Graph, cfg Config) (*Server, error) {
 	cfg.normalize()
-	engOpts := cfg.Engine
+	// Per-query latency histograms are always on in serving mode: they
+	// back /queries and the labeled paracosm_query series, and a few KB
+	// per live query is noise next to a connection's buffers.
+	engOpts := append(append([]core.Option(nil), cfg.Engine...), core.TrackQueries(true))
 	if cfg.Tracer != nil {
-		engOpts = append(append([]core.Option(nil), engOpts...), core.WithTracer(cfg.Tracer))
+		engOpts = append(engOpts, core.WithTracer(cfg.Tracer))
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -259,20 +282,15 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// trace appends one server lifecycle event to the tracer's ring (no-op
-// without a tracer). Server events carry Class "server" and an
-// "srv:"-prefixed op; they deliberately bypass Tracer.Update so the
-// per-update counters and latency histograms stay engine-only.
-func (s *Server) trace(op string, n uint64) {
+// trace records one server lifecycle event (no-op without a tracer): a
+// per-op counter behind paracosm_server_events_total plus one Class
+// "server" ring event. See obs.Tracer.ServerEvent for why these bypass
+// the per-update counters.
+func (s *Server) trace(op obs.ServerOp, n uint64) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Ring().Append(obs.Event{
-		Seq:     s.tracer.NextSeq(),
-		Op:      "srv:" + op,
-		Class:   "server",
-		Matches: n,
-	})
+	s.tracer.ServerEvent(op, n)
 }
 
 func (s *Server) acceptLoop() {
@@ -302,7 +320,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Unlock()
 		if full {
 			s.connsRejected.Add(1)
-			s.trace("reject", 1)
+			s.trace(obs.SrvReject, 1)
 			c.SetWriteDeadline(time.Now().Add(time.Second))
 			bw := bufio.NewWriter(c)
 			_ = WriteFrame(bw, &Frame{Type: TypeError, Err: "connection limit reached"})
@@ -310,7 +328,7 @@ func (s *Server) acceptLoop() {
 			c.Close()
 			continue
 		}
-		s.trace("accept", 1)
+		s.trace(obs.SrvAccept, 1)
 		go s.readLoop(cn)
 		go s.writeLoop(cn)
 	}
@@ -353,10 +371,10 @@ func (s *Server) teardown(cn *conn) {
 	for name := range cn.queries {
 		// Other connections' subscriptions to this query die with it.
 		if s.dropQuery(name) {
-			s.trace("deregister", 1)
+			s.trace(obs.SrvDeregister, 1)
 		}
 	}
-	s.trace("disconnect", 1)
+	s.trace(obs.SrvDisconnect, 1)
 }
 
 // dropQuery removes a query's subscriptions and deregisters its engine
@@ -434,7 +452,7 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 			return s.replyErr(cn, f.ID, 0, err)
 		}
 		cn.queries[f.Query] = struct{}{}
-		s.trace("register", 1)
+		s.trace(obs.SrvRegister, 1)
 		return s.replyOK(cn, f.ID, 0)
 
 	case TypeDeregister:
@@ -443,7 +461,7 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 		}
 		delete(cn.queries, f.Query)
 		s.dropQuery(f.Query)
-		s.trace("deregister", 1)
+		s.trace(obs.SrvDeregister, 1)
 		return s.replyOK(cn, f.ID, 0)
 
 	case TypeSubscribe:
@@ -478,7 +496,7 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 			s.mu.Unlock()
 			return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown query %q", f.Query))
 		}
-		s.trace("subscribe", 1)
+		s.trace(obs.SrvSubscribe, 1)
 		return s.replyOK(cn, f.ID, 0)
 
 	case TypeUpdate, TypeBatch:
@@ -519,8 +537,14 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 // MaxInflight bounds updates, not frames), honoring the backpressure
 // policy: block the submitting reader, or reject the remainder.
 func (s *Server) enqueue(cn *conn, upds stream.Stream) (int, error) {
+	traced := s.tracer != nil
 	for i, upd := range upds {
 		m := ingestMsg{upd: upd}
+		if traced {
+			// One stamp per update feeds the ingest_wait stage; skipped
+			// without a tracer so the untraced path stays clock-free.
+			m.enq = time.Now()
+		}
 		if s.cfg.Reject {
 			select { // drop-counted by rejected
 			case s.ingest <- m:
@@ -548,7 +572,7 @@ func (s *Server) enqueue(cn *conn, upds stream.Stream) (int, error) {
 // already made it into the queue before exiting (drain-then-close).
 func (s *Server) ingestLoop() {
 	defer s.wg.Done()
-	batch := make(stream.Stream, 0, s.cfg.BatchMax)
+	batch := pendingBatch{upds: make(stream.Stream, 0, s.cfg.BatchMax)}
 	for {
 		select {
 		case m := <-s.ingest:
@@ -586,15 +610,21 @@ func (s *Server) ingestLoop() {
 
 // gather folds one queue element into the pending batch, flushing at
 // barriers (so the barrier's happens-after covers every prior update)
-// and at the batch cap.
-func (s *Server) gather(batch *stream.Stream, m ingestMsg) {
+// and at the batch cap. With a tracer, each update's enqueue and pickup
+// times are kept alongside it, feeding the ingest_wait and assemble
+// pipeline stages at flush.
+func (s *Server) gather(batch *pendingBatch, m ingestMsg) {
 	if m.done != nil {
 		s.flushBatch(batch)
 		close(m.done)
 		return
 	}
-	*batch = append(*batch, m.upd)
-	if len(*batch) >= s.cfg.BatchMax {
+	batch.upds = append(batch.upds, m.upd)
+	if s.tracer != nil {
+		batch.bt.Enqueued = append(batch.bt.Enqueued, m.enq)
+		batch.bt.Dequeued = append(batch.bt.Dequeued, time.Now())
+	}
+	if len(batch.upds) >= s.cfg.BatchMax {
 		s.flushBatch(batch)
 	}
 }
@@ -602,19 +632,27 @@ func (s *Server) gather(batch *stream.Stream, m ingestMsg) {
 // flushBatch runs the pending batch through every registered query.
 // Updates that fail validation against the base graph are counted
 // invalid; engine errors are impossible here (no deadline, updates
-// pre-validated).
-func (s *Server) flushBatch(batch *stream.Stream) {
-	if len(*batch) == 0 {
+// pre-validated). The batch's queue timestamps ride along so the engine
+// driver attributes per-update ingest wait and assembly dwell — observed
+// there, on the same path that counts the update applied, which is what
+// keeps stage sample counts equal to the ingested counter below.
+func (s *Server) flushBatch(batch *pendingBatch) {
+	if len(batch.upds) == 0 {
 		return
 	}
 	if s.cfg.ingestGate != nil {
 		<-s.cfg.ingestGate
 	}
-	applied, _ := s.multi.ProcessBatch(context.Background(), *batch)
+	var bt *core.BatchTimes
+	if s.tracer != nil {
+		batch.bt.Flushed = time.Now()
+		bt = &batch.bt
+	}
+	applied, _ := s.multi.ProcessBatchTimed(context.Background(), batch.upds, bt)
 	s.ingested.Add(uint64(applied))
-	s.invalid.Add(uint64(len(*batch) - applied))
-	s.trace("ingest", uint64(applied))
-	*batch = (*batch)[:0]
+	s.invalid.Add(uint64(len(batch.upds) - applied))
+	s.trace(obs.SrvIngest, uint64(applied))
+	batch.reset()
 }
 
 // fanout is the MultiEngine.OnDelta sink: every nonzero ΔM becomes one
@@ -626,6 +664,11 @@ func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bo
 		return
 	}
 	s.deltasTotal.Add(1)
+	var clk obs.StageClock
+	traced := s.tracer != nil
+	if traced {
+		clk.Start()
+	}
 	// Snapshot the subscriber list under the lock: teardown compacts the
 	// backing array in place and subscribe appends into its spare
 	// capacity, so iterating the bare slice header unlocked races.
@@ -640,21 +683,40 @@ func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bo
 			Pos:    d.Positive,
 			Neg:    d.Negative,
 		}
+		if traced {
+			// The writer goroutine measures this frame's queue dwell and
+			// wire write from the stamp (stages sub_queue / wire_write).
+			f.enq = time.Now()
+		}
 		if !cn.offerDelta(f) {
 			s.deltasDropped.Add(1)
-			s.trace("drop", 1)
+			s.trace(obs.SrvDrop, 1)
 		}
+	}
+	if traced {
+		// One fanout observation per nonzero delta (reconciles with the
+		// paracosm_server_deltas_total counter incremented above).
+		clk.Mark(s.tracer.Stages(), obs.StageFanout)
 	}
 }
 
 // writeLoop serializes one connection's outbound frames, batching
-// flushes while the queue stays hot.
+// flushes while the queue stays hot. Delta frames stamped by fanout get
+// their subscriber-queue dwell and wire-write time observed here (the
+// sampled tail of the pipeline: only deltas that were actually delivered
+// contribute, which is exactly what the stages describe).
 func (s *Server) writeLoop(cn *conn) {
 	defer s.connWG.Done()
 	bw := bufio.NewWriter(cn.c)
 	for {
 		select {
 		case f := <-cn.out:
+			var clk obs.StageClock
+			staged := s.tracer != nil && !f.enq.IsZero()
+			if staged {
+				s.tracer.Stages().Observe(obs.StageSubQueue, time.Since(f.enq))
+				clk.Start()
+			}
 			if s.cfg.WriteTimeout > 0 {
 				cn.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			}
@@ -667,6 +729,9 @@ func (s *Server) writeLoop(cn *conn) {
 					cn.close()
 					return
 				}
+			}
+			if staged {
+				clk.Mark(s.tracer.Stages(), obs.StageWire)
 			}
 		case <-cn.closed:
 			return

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"paracosm/internal/graph"
 	"paracosm/internal/query"
@@ -93,6 +94,12 @@ type Frame struct {
 	Accepted int `json:"accepted,omitempty"`
 	// Err is the failure reason of an error reply.
 	Err string `json:"error,omitempty"`
+
+	// enq is the fan-out enqueue time of a delta frame, stamped only when
+	// the server has a tracer: the writer goroutine observes the frame's
+	// subscriber-queue dwell and wire-write time from it (pipeline stages
+	// sub_queue and wire_write). Unexported, so it never hits the wire.
+	enq time.Time
 }
 
 // DefaultMaxFrame bounds a single wire frame (1 MiB): large enough for

@@ -50,7 +50,10 @@ fi
 echo "healthz: $(curl -s "http://$ADDR/healthz")"
 
 echo "== /metrics =="
-curl -s "http://$ADDR/metrics" | tee "$WORK/metrics.txt" | head -5
+# No tee-into-head: the exposition now exceeds the pipe buffer (stage
+# histograms), so head's early exit would SIGPIPE the producer.
+curl -s "http://$ADDR/metrics" -o "$WORK/metrics.txt"
+head -5 "$WORK/metrics.txt"
 grep -q '^paracosm_updates_total' "$WORK/metrics.txt"
 grep -q '^paracosm_update_total_seconds_count' "$WORK/metrics.txt"
 

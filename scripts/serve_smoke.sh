@@ -3,8 +3,10 @@
 # compute the sequential single-engine oracle totals, start `paracosm
 # serve`, drive it with `paracosm client` (register + subscribe + stream
 # + flush), and require the streamed delta totals to equal the oracle.
-# Also checks the serving-layer /metrics gauges and graceful shutdown on
-# SIGTERM. Exits non-zero on any failure; CI runs this as a gating step.
+# Also checks the serving-layer /metrics gauges, the /queries debug
+# endpoint and `paracosm top` against the live standing query, and
+# graceful shutdown on SIGTERM. Exits non-zero on any failure; CI runs
+# this as a gating step.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,7 +16,7 @@ DBG_PORT="${SERVE_SMOKE_DEBUG_PORT:-18081}"
 ADDR="127.0.0.1:${PORT}"
 DBG="127.0.0.1:${DBG_PORT}"
 WORK="$(mktemp -d)"
-trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+trap 'kill "${CLI_PID:-}" "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 echo "== gendata =="
 go run ./cmd/gendata -out "$WORK" -scale 0.001
@@ -56,8 +58,32 @@ if [ -z "$ok" ]; then
 fi
 
 echo "== client: register, subscribe, stream, flush =="
+# -linger keeps the connection (and therefore the registered standing
+# query) alive after the totals print, so the /queries and `paracosm
+# top` checks below observe a live query. Totals appear before the
+# linger, so poll for them.
 "$WORK/paracosm" client -addr "$ADDR" -name smoke -algo GraphFlow \
-    -query "$QUERY" -stream "$STREAM" -subscribe >"$WORK/client.out"
+    -query "$QUERY" -stream "$STREAM" -subscribe -linger 60s \
+    >"$WORK/client.out" &
+CLI_PID=$!
+ok=""
+for _ in $(seq 1 120); do
+    if grep -q '^matches' "$WORK/client.out" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$CLI_PID" 2>/dev/null; then
+        echo "client exited before reporting totals:" >&2
+        cat "$WORK/client.out" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+if [ -z "$ok" ]; then
+    echo "client never reported totals" >&2
+    cat "$WORK/client.out" >&2
+    exit 1
+fi
 cat "$WORK/client.out"
 GOT="$(sed -n 's/^matches *: \(+[0-9]* \/ -[0-9]*\).*/\1/p' "$WORK/client.out")"
 grep -q 'dropped 0' "$WORK/client.out"
@@ -77,6 +103,29 @@ if [ "${ING:-0}" -le 0 ]; then
     echo "no updates ingested per /metrics" >&2
     exit 1
 fi
+# Per-query labeled series: the lingering client keeps "smoke" live.
+grep -q '^paracosm_query_updates{name="smoke"}' "$WORK/metrics.txt"
+# Pipeline stage histograms fed by the serving path.
+grep -q '^paracosm_stage_commit_seconds_count' "$WORK/metrics.txt"
+
+echo "== /queries lists the live standing query =="
+curl -s "http://$DBG/queries" | tee "$WORK/queries.json"
+grep -q '"name": "smoke"' "$WORK/queries.json"
+QUPD="$(sed -n 's/^ *"updates": \([0-9][0-9]*\),$/\1/p' "$WORK/queries.json" | head -1)"
+if [ "${QUPD:-0}" -le 0 ]; then
+    echo "query 'smoke' shows no processed updates in /queries" >&2
+    exit 1
+fi
+echo "query 'smoke' processed $QUPD updates"
+
+echo "== paracosm top (one shot) =="
+"$WORK/paracosm" top -addr "$DBG" -n 5 -once | tee "$WORK/top.out"
+grep -q 'QUERY' "$WORK/top.out"
+grep -q 'smoke' "$WORK/top.out"
+
+kill "$CLI_PID" 2>/dev/null || true
+wait "$CLI_PID" 2>/dev/null || true
+CLI_PID=""
 
 echo "== graceful shutdown (SIGTERM) =="
 kill -TERM "$SRV_PID"
