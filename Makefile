@@ -41,13 +41,13 @@ bench:
 # updates/sec at 100/1k/10k standing queries). CI runs this as a
 # non-gating step.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
 
 # Non-gating comparison of the current baseline against the previous PR's
 # committed one (updates/sec, p99, kernel counters, multi-query rows).
 # Always exits 0.
 bench-compare:
-	$(GO) run ./cmd/benchcmp -old BENCH_pr7.json -new BENCH_pr8.json
+	$(GO) run ./cmd/benchcmp -old BENCH_pr8.json -new BENCH_pr9.json
 
 # End-to-end smoke of the observability layer: run paracosm with
 # -debug-addr on a generated dataset and curl /healthz, /metrics and
@@ -72,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzLabelIndex -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/stream/
+	$(GO) test -fuzz FuzzCoalesce -fuzztime 30s ./internal/stream/
 	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/server/
 
 # Regenerate every paper table/figure plus ablations at the default

@@ -94,4 +94,39 @@ func main() {
 				o.StagePostApplyUS, n.StagePostApplyUS)
 		}
 	}
+
+	// Windowed-executor rows (schema 6): keyed by workload, algo and
+	// window size. Window==1 rows are the per-update baseline, so the
+	// interesting within-report comparison (w=1 vs w=N on the same
+	// workload) is printed alongside the cross-report delta.
+	oldWin := make(map[string]bench.WindowRecord, len(oldRep.Window))
+	for _, r := range oldRep.Window {
+		oldWin[fmt.Sprintf("%s/%s/w%d", r.Workload, r.Algo, r.Window)] = r
+	}
+	base := make(map[string]bench.WindowRecord, len(newRep.Window))
+	for _, r := range newRep.Window {
+		if r.Window == 1 {
+			base[r.Workload+"/"+r.Algo] = r
+		}
+	}
+	for _, n := range newRep.Window {
+		key := fmt.Sprintf("%s/%s/w%d", n.Workload, n.Algo, n.Window)
+		if o, ok := oldWin[key]; ok {
+			fmt.Printf("win %-22s updates/sec %9.1f -> %9.1f (%s)   p99 %7.1fus -> %7.1fus (%s)\n",
+				key, o.UpdatesPerSec, n.UpdatesPerSec, pct(o.UpdatesPerSec, n.UpdatesPerSec),
+				o.LatencyP99US, n.LatencyP99US, pct(o.LatencyP99US, n.LatencyP99US))
+		} else {
+			fmt.Printf("win %-22s new record: %.1f updates/sec, p99 %.1fus\n",
+				key, n.UpdatesPerSec, n.LatencyP99US)
+		}
+		if n.Window > 1 {
+			if b, ok := base[n.Workload+"/"+n.Algo]; ok {
+				fmt.Printf("win %-22s   vs w=1 baseline: updates/sec %s   p99 %s\n",
+					"", pct(b.UpdatesPerSec, n.UpdatesPerSec), pct(b.LatencyP99US, n.LatencyP99US))
+			}
+			fmt.Printf("win %-22s   %d windows: %d coalesced (%d annihilated pairs), %d groups (max %d, avg %.1f), %.1f%% unsafe parallel\n",
+				"", n.Windows, n.Coalesced, n.AnnihilatedPairs,
+				n.Groups, n.MaxGroup, n.AvgGroup, 100*n.ParallelUnsafeFraction)
+		}
+	}
 }

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output file for the JSON report")
+	out := flag.String("out", "BENCH_pr9.json", "output file for the JSON report")
 	scale := flag.Float64("scale", 0.002, "dataset scale factor (Table 5 sizes)")
 	queries := flag.Int("queries", 2, "random queries per algorithm")
 	updates := flag.Int("updates", 200, "stream updates replayed per query")

@@ -34,6 +34,8 @@ func serveMain(args []string) {
 		readTimeout = fs.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline (0 = none)")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address")
 		traceCap    = fs.Int("trace-cap", obs.DefaultRingCap, "trace ring capacity")
+		window      = fs.Int("window", 0, "batch-dynamic window size in updates (0/1 = per-update execution)")
+		footCap     = fs.Int("footprint-cap", 0, "conflict-footprint vertex cap before serial fallback (default 512)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: paracosm serve -data graph.txt [-addr host:port] [options]")
@@ -65,6 +67,8 @@ func serveMain(args []string) {
 			core.Threads(*threads),
 			core.InterUpdate(*inter),
 			core.BatchSize(*batch),
+			core.Window(*window),
+			core.FootprintCap(*footCap),
 		},
 	})
 	if err != nil {

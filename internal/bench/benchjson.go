@@ -61,6 +61,10 @@ type BenchReport struct {
 	// increasing standing-query counts (see RunMultiBench); schema 5 adds
 	// their per-stage pipeline latency fields (stage_*_us).
 	MultiQuery []MultiQueryRecord `json:"multi_query,omitempty"`
+	// Window rows (schema 6) compare the batch-dynamic windowed executor
+	// against the per-update baseline across stream shapes (see
+	// RunWindowBench).
+	Window []WindowRecord `json:"window,omitempty"`
 }
 
 // RunBenchJSON runs the Figure 7 microbenchmark — the full inner-update
@@ -85,7 +89,7 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 	}
 
 	report := BenchReport{
-		Schema:      5,
+		Schema:      6,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Threads:     threads,
@@ -158,6 +162,12 @@ func RunBenchJSON(cfg Config, w io.Writer) error {
 		return err
 	}
 	report.MultiQuery = mq
+
+	win, err := cfg.RunWindowBench()
+	if err != nil {
+		return err
+	}
+	report.Window = win
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"time"
+
+	"paracosm/internal/algo"
+	"paracosm/internal/core"
+	"paracosm/internal/dataset"
+	"paracosm/internal/metrics"
+	"paracosm/internal/obs"
+	"paracosm/internal/stream"
+)
+
+// WindowRecord is one (workload, algo, window) row of the batch-dynamic
+// executor benchmark (schema 6). Window == 1 rows are the per-update v1
+// baseline the windowed rows are compared against; the window counters
+// are zero there by construction.
+type WindowRecord struct {
+	Dataset       string  `json:"dataset"`
+	Workload      string  `json:"workload"` // uniform | deletion_heavy | bursty
+	Algo          string  `json:"algo"`
+	Window        int     `json:"window"`
+	Updates       int     `json:"updates"` // raw updates consumed, coalesced-away ones included
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Matches       uint64  `json:"matches"`
+	// Window-assembly counters: raw updates removed by coalescing and
+	// the exact insert/delete pairs among them.
+	Windows          int `json:"windows"`
+	Coalesced        int `json:"coalesced"`
+	AnnihilatedPairs int `json:"annihilated_pairs"`
+	// Conflict-scheduling counters: independent-set (wave) shape and how
+	// many updates committed in multi-update waves vs alone.
+	Groups                 int     `json:"groups"`
+	MaxGroup               int     `json:"max_group"`
+	AvgGroup               float64 `json:"avg_group"`
+	UnsafeParallel         int     `json:"unsafe_parallel"`
+	FallbackSerial         int     `json:"fallback_serial"`
+	ParallelUnsafeFraction float64 `json:"parallel_unsafe_fraction"`
+	// Per-update latency quantiles, for the flat-or-better-p99 check on
+	// uniform workloads.
+	LatencyP50US float64 `json:"latency_p50_us"`
+	LatencyP99US float64 `json:"latency_p99_us"`
+}
+
+// windowBenchSizes are the window sizes each workload is measured at:
+// the v1 baseline and one windowed configuration.
+var windowBenchSizes = []int{1, 64}
+
+// RunWindowBench measures the batch-dynamic executor against the
+// per-update baseline on three workloads over the Amazon stand-in:
+// uniform (the plain holdout insert stream), deletion-heavy churn
+// (interleaved deletes with re-inserts) and bursty (hot-edge
+// insert/delete bursts that coalesce away). Real execution only — the
+// windowed executor is a wall-clock optimization, so simulate mode
+// would measure nothing.
+func (c Config) RunWindowBench() ([]WindowRecord, error) {
+	c = c.Defaults()
+	threads := c.Threads
+	if threads > 8 {
+		threads = 8 // real goroutines, not simulated workers
+	}
+	if threads < 2 {
+		threads = 2
+	}
+
+	d := c.data(dataset.AmazonSpec)
+	capped := func(s stream.Stream) stream.Stream {
+		if len(s) > 2*c.StreamCap {
+			s = s[:2*c.StreamCap]
+		}
+		return s
+	}
+	workloads := []struct {
+		name string
+		s    stream.Stream
+	}{
+		{"uniform", c.stream(d)},
+		{"deletion_heavy", capped(d.DeletionHeavyStream(0.5))},
+		{"bursty", capped(d.BurstyStream(6))},
+	}
+
+	var out []WindowRecord
+	for _, wl := range workloads {
+		for _, name := range []string{"GraphFlow", "Symbi"} {
+			entry, err := algo.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			qs, err := c.queriesFor(d, 4)
+			if err != nil {
+				return nil, err
+			}
+			for _, win := range windowBenchSizes {
+				tr := obs.NewTracer(obs.DefaultRingCap)
+				var agg core.Stats
+				var elapsed time.Duration
+				updates := 0
+				for _, q := range qs {
+					t0 := time.Now()
+					r := c.runOne(entry, d, q, wl.s,
+						core.Threads(threads), core.InterUpdate(true),
+						core.LoadBalance(true), core.Simulate(false),
+						core.Window(win), core.WithTracer(tr))
+					elapsed += time.Since(t0)
+					// Raw throughput: committed updates plus the ones
+					// coalescing removed before they reached an engine.
+					updates += r.Stats.Updates + r.Stats.Window.Coalesced
+					agg.Add(r.Stats)
+				}
+				lat := tr.Hist(obs.PhaseTotal)
+				w := agg.Window
+				out = append(out, WindowRecord{
+					Dataset:          d.Name,
+					Workload:         wl.name,
+					Algo:             name,
+					Window:           win,
+					Updates:          updates,
+					ElapsedMS:        float64(elapsed) / float64(time.Millisecond),
+					UpdatesPerSec:    metrics.Rate(uint64(updates), elapsed),
+					Matches:          agg.Positive + agg.Negative,
+					Windows:          w.Windows,
+					Coalesced:        w.Coalesced,
+					AnnihilatedPairs: w.Annihilated,
+					Groups:           w.Groups,
+					MaxGroup:         w.MaxGroup,
+					AvgGroup:         avgGroup(w),
+					UnsafeParallel:   w.UnsafeParallel,
+					FallbackSerial:   w.FallbackSerial,
+					ParallelUnsafeFraction: metrics.Fraction(
+						uint64(w.UnsafeParallel), uint64(w.UnsafeParallel+w.FallbackSerial)),
+					LatencyP50US: usec(lat.Quantile(0.50)),
+					LatencyP99US: usec(lat.Quantile(0.99)),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// avgGroup is the mean independent-set size (0 when no groups formed).
+func avgGroup(w core.WindowCounters) float64 {
+	if w.Groups == 0 {
+		return 0
+	}
+	return float64(w.UnsafeParallel+w.FallbackSerial) / float64(w.Groups)
+}

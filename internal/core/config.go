@@ -91,6 +91,23 @@ type Config struct {
 	// index-only workloads (the bench harness measures bytes/query with
 	// this off). Ignored by standalone engines.
 	TrackQueries bool
+
+	// Window enables the batch-dynamic executor v2 when > 1: updates are
+	// buffered into windows of up to Window updates, coalesced (exact
+	// insert/delete pairs annihilate, repeated touches of one edge fold to
+	// their net effect), and unsafe updates with disjoint conflict
+	// footprints execute concurrently instead of serializing one at a
+	// time. 0 or 1 (the default) keeps the per-update v1 executor.
+	// Requires InterUpdate; ignored under Simulate (the simulator models
+	// the per-update schedule).
+	Window int
+
+	// FootprintCap bounds the conflict-footprint size (vertices visited by
+	// the query-relevant BFS) per update. An update whose footprint would
+	// exceed the cap is treated as conflicting with everything — it runs
+	// alone, exactly like the v1 serial path — so the cap trades grouping
+	// opportunity for bounded conflict-build cost. Defaults to 512.
+	FootprintCap int
 }
 
 // DeltaFunc observes one processed update's incremental result (see
@@ -132,6 +149,12 @@ func WithOnDelta(f DeltaFunc) Option { return func(c *Config) { c.OnDelta = f } 
 // TrackQueries toggles per-query latency histograms in a MultiEngine.
 func TrackQueries(on bool) Option { return func(c *Config) { c.TrackQueries = on } }
 
+// Window sets the batch-dynamic window size (0 or 1 disables windowing).
+func Window(n int) Option { return func(c *Config) { c.Window = n } }
+
+// FootprintCap bounds the per-update conflict-footprint size.
+func FootprintCap(n int) Option { return func(c *Config) { c.FootprintCap = n } }
+
 func defaultConfig() Config {
 	return Config{
 		Threads:     runtime.GOMAXPROCS(0),
@@ -152,6 +175,39 @@ func (c *Config) normalize() {
 	}
 	if c.EscalateNodes < 1 {
 		c.EscalateNodes = 4096
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.FootprintCap < 1 {
+		c.FootprintCap = 512
+	}
+}
+
+// WindowCounters instruments the batch-dynamic (windowed) executor. A
+// standalone Engine accumulates them inside its Stats; a MultiEngine
+// counts at the shared driver level (once per update, not per query) and
+// exposes them through MultiEngine.WindowCounters.
+type WindowCounters struct {
+	Windows        int // windows executed
+	Coalesced      int // updates removed by window coalescing
+	Annihilated    int // exact insert/delete pairs annihilated (2 updates each)
+	UnsafeParallel int // updates committed in multi-update independent groups
+	FallbackSerial int // conflict/overflow/barrier updates committed alone
+	Groups         int // independent groups committed (including singletons)
+	MaxGroup       int // largest independent group committed
+}
+
+// Add accumulates o into w (MaxGroup takes the max).
+func (w *WindowCounters) Add(o WindowCounters) {
+	w.Windows += o.Windows
+	w.Coalesced += o.Coalesced
+	w.Annihilated += o.Annihilated
+	w.UnsafeParallel += o.UnsafeParallel
+	w.FallbackSerial += o.FallbackSerial
+	w.Groups += o.Groups
+	if o.MaxGroup > w.MaxGroup {
+		w.MaxGroup = o.MaxGroup
 	}
 }
 
@@ -184,6 +240,9 @@ type Stats struct {
 	Resplits    uint64 // subtrees re-split into pool tasks (adaptive sharing)
 	Parks       uint64 // pool worker park events during escalated epochs
 	Wakeups     uint64 // pool worker wakeups from park during epochs
+
+	// Batch-dynamic executor counters (Config.Window > 1).
+	Window WindowCounters
 
 	// ThreadBusy holds cumulative per-thread busy times during
 	// find-matches phases. Slot 0 is the caller thread: root collection
@@ -225,6 +284,7 @@ func (s *Stats) Add(o Stats) {
 	s.Resplits += o.Resplits
 	s.Parks += o.Parks
 	s.Wakeups += o.Wakeups
+	s.Window.Add(o.Window)
 	for len(s.ThreadBusy) < len(o.ThreadBusy) {
 		s.ThreadBusy = append(s.ThreadBusy, 0)
 	}

@@ -58,6 +58,22 @@ type Engine struct {
 	// phases per engine, so no lock is needed.
 	shared sharedPending
 
+	// sharedBuf is the windowed driver's slot buffer: one sharedPending
+	// per coalesced window update, so a whole independent set can sit
+	// between its prepare and commit barriers (see multiwindow.go). Grown
+	// by the driver before each window; unused otherwise.
+	sharedBuf []sharedPending
+
+	// win is the batch-dynamic executor's reusable window scratch
+	// (Config.Window > 1; see window.go), built lazily on first use.
+	win *winScratch
+
+	// winDefer, when non-nil, redirects processUpdate's OnDelta emission
+	// into the pointed-to window result instead of firing the callback:
+	// the windowed executor emits deltas at window end, in window order.
+	// Only the serial window paths set it, so no lock is needed.
+	winDefer *winResult
+
 	// lat, if non-nil, observes every processed update's latency — the
 	// exact value accumulated into Stats.TTotal, at the same sites that
 	// increment Stats.Updates, so lat.Count() == Stats.Updates by
@@ -229,7 +245,12 @@ func (e *Engine) processUpdate(ctx context.Context, upd stream.Update, cl classi
 		}
 		e.traceUpdate(upd, cl, reclassified, &d, &r, total, err != nil)
 	}
-	if e.cfg.OnDelta != nil {
+	if e.winDefer != nil {
+		// Windowed execution defers emission to window end (window order);
+		// the result records the delta instead of firing the callback.
+		e.winDefer.d = d
+		e.winDefer.emit = true
+	} else if e.cfg.OnDelta != nil {
 		// Fires only after the update is fully applied: mutation errors
 		// returned above never reach here, timeouts do (partial ΔM).
 		e.cfg.OnDelta(upd, d, err != nil)
@@ -336,6 +357,20 @@ func (e *Engine) Run(ctx context.Context, s stream.Stream) (Stats, error) {
 		}
 		return e.Stats(), nil
 	}
+	if e.cfg.Window > 1 && !e.cfg.Simulate {
+		i := 0
+		for i < len(s) {
+			n, err := e.runWindow(ctx, s[i:])
+			i += n
+			if err != nil {
+				return e.Stats(), fmt.Errorf("window ending at update %d: %w", i-1, err)
+			}
+			if n == 0 {
+				return e.Stats(), fmt.Errorf("core: windowed executor made no progress")
+			}
+		}
+		return e.Stats(), nil
+	}
 	i := 0
 	for i < len(s) {
 		n, err := e.runBatch(ctx, s[i:])
@@ -421,40 +456,8 @@ func (e *Engine) runBatch(ctx context.Context, s stream.Stream) (int, error) {
 	batch := s[:k]
 
 	// Stage A: parallel classification (read-only against g and ADS).
-	tClassify := time.Now()
 	verdicts := make([]classification, k)
-	workers := e.cfg.Threads
-	if workers > k {
-		workers = k
-	}
-	if workers <= 1 {
-		for j, upd := range batch {
-			verdicts[j] = e.classify(upd)
-		}
-	} else {
-		var wg sync.WaitGroup
-		chunk := (k + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > k {
-				hi = k
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for j := lo; j < hi; j++ {
-					verdicts[j] = e.classify(batch[j])
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
-
-	classifyCost := time.Since(tClassify)
+	classifyCost := e.classifyStageA(batch, verdicts)
 	if e.cfg.Simulate && e.cfg.Threads > 1 {
 		// Under schedule simulation classification runs sequentially but
 		// is charged as k-way parallel work.

@@ -100,6 +100,16 @@ type MultiEngine struct {
 	// zero-allocation contract (see TestSharedPathAllocations).
 	fanPrepare func(*multiQuery) // guarded by mu
 	fanCommit  func(*multiQuery) // guarded by mu
+
+	// Windowed-mode state (Config.Window > 1, see multiwindow.go): the
+	// driver scratch, the current-wave task read by the wave fan-out
+	// closures, and the driver-level window counter tally.
+	mwin          *winDriver        // guarded by mu
+	winCur        winCurTask        // guarded by mu (same discipline as fanCur)
+	winStats      WindowCounters    // guarded by mu
+	fanPrepareWin func(*multiQuery) // guarded by mu
+	fanCommitWin  func(*multiQuery) // guarded by mu
+	fanEmitWin    func(*multiQuery) // guarded by mu
 }
 
 type multiQuery struct {
@@ -407,6 +417,12 @@ func (m *MultiEngine) runSharedLocked(ctx context.Context, s stream.Stream, bt *
 		}
 	}
 	m.active = active
+	if m.cfg.Window > 1 && !m.cfg.Simulate && len(active) > 0 {
+		// Batch-dynamic mode: coalesce windows and commit independent
+		// sets per barrier pair instead of one update at a time.
+		m.runSharedWindowedLocked(ctx, s, bt, idx)
+		return
+	}
 	if m.fanPrepare == nil {
 		// Built once per MultiEngine: the closures read the current task
 		// from m.fanCur, so the lockstep loop below never allocates.

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"paracosm/internal/csm"
+	"paracosm/internal/obs"
+	"paracosm/internal/query"
+	"paracosm/internal/stream"
+)
+
+// This file threads the batch-dynamic window (window.go) through the
+// MultiEngine's apply-once/fan-out lockstep driver. The per-update loop
+// of runSharedLocked pays two fan-out barriers per update; the windowed
+// driver coalesces a window of updates, schedules the survivors into
+// independent sets with the same conflict-footprint machinery as the
+// single-engine executor, and commits a whole set per barrier pair:
+//
+//	fan out prepare(all members)  — read-only, wave-start state
+//	apply every member's mutation — window order, driver only
+//	fan out commit(all members)   — ADS + new-match enumeration
+//
+// Disjointness is computed against the union of all active queries'
+// relevance masks with the largest query's radius, so every engine's
+// reads and writes for one member stay inside that member's footprint
+// and the wave is indistinguishable from its sequential execution for
+// every query at once. OnDelta emission is deferred to window end and
+// replayed in window order from the per-engine slot buffers.
+
+// winDriver is the MultiEngine's reusable windowed-execution scratch.
+type winDriver struct {
+	coal    *stream.Coalescer
+	buf     stream.Stream
+	sched   waveScheduler
+	labelOK []bool
+
+	// Adaptive scheduler bypass, mirroring winScratch: fruitless probes
+	// (no multi-update wave) back off exponentially to serial draining.
+	skipSched int
+	backoff   int
+}
+
+// winCurTask publishes the current wave to the persistent fan-out
+// closures, under the same publication discipline as MultiEngine.fanCur.
+type winCurTask struct {
+	ctx     context.Context
+	batch   stream.Stream
+	members []int32
+	n       int // coalesced window length, for the emission pass
+	base    int // global stream offset of the window, for error messages
+	src     []int32
+}
+
+// ensureWinDriverLocked lazily builds the driver scratch.
+func (m *MultiEngine) ensureWinDriverLocked() *winDriver {
+	if m.mwin == nil {
+		m.mwin = &winDriver{coal: stream.NewCoalescer()}
+	}
+	return m.mwin
+}
+
+// winMask recomputes the conflict radius (the largest active query's
+// vertex count) and the union relevance mask over the active queries.
+// Labels no query mentions are irrelevant for every engine, so a BFS
+// frontier that dies for the union dies for each query individually.
+func (m *MultiEngine) winMaskLocked(active []*multiQuery) (radius int, labelOK []bool) {
+	w := m.mwin
+	mask := w.labelOK[:0]
+	for _, mq := range active {
+		q := mq.eng.q
+		if q.NumVertices() > radius {
+			radius = q.NumVertices()
+		}
+		for u := 0; u < q.NumVertices(); u++ {
+			l := int(q.Label(query.VertexID(u)))
+			for len(mask) <= l {
+				mask = append(mask, false)
+			}
+			mask[l] = true
+		}
+	}
+	w.labelOK = mask
+	return radius, mask
+}
+
+// runSharedWindowedLocked is runSharedLocked's windowed mode: chunk s
+// into windows of cfg.Window raw updates and commit each through
+// processWindowLocked. Stops early when every query has failed or a
+// trusted-stream apply error aborts the pass.
+func (m *MultiEngine) runSharedWindowedLocked(ctx context.Context, s stream.Stream, bt *BatchTimes, idx []int) {
+	m.ensureWinDriverLocked()
+	if m.fanPrepareWin == nil {
+		m.fanPrepareWin = func(mq *multiQuery) {
+			cur := &m.winCur
+			for _, j := range cur.members {
+				mq.eng.sharedPrepareInto(cur.ctx, cur.batch[j], &mq.eng.sharedBuf[j])
+			}
+		}
+		m.fanCommitWin = func(mq *multiQuery) {
+			cur := &m.winCur
+			for _, j := range cur.members {
+				p := &mq.eng.sharedBuf[j]
+				_, err := mq.eng.sharedCommitFrom(cur.ctx, cur.batch[j], p, false)
+				p.err = err
+				p.done = true
+			}
+		}
+		m.fanEmitWin = func(mq *multiQuery) {
+			cur := &m.winCur
+			for j := 0; j < cur.n; j++ {
+				p := &mq.eng.sharedBuf[j]
+				if !p.done {
+					continue
+				}
+				if mq.eng.cfg.OnDelta != nil {
+					mq.eng.cfg.OnDelta(cur.batch[j], p.d, p.err != nil)
+				}
+				if p.err != nil && mq.err == nil {
+					gi := cur.base + int(cur.src[j])
+					mq.err = fmt.Errorf("update %d (%v): %w", gi, cur.batch[j], p.err)
+				}
+			}
+		}
+	}
+	off := 0
+	for off < len(s) {
+		k := m.cfg.Window
+		if k > len(s)-off {
+			k = len(s) - off
+		}
+		if !m.processWindowLocked(ctx, s[off:off+k], off, bt, idx) {
+			return
+		}
+		off += k
+		compact := m.active[:0]
+		for _, mq := range m.active {
+			if mq.err == nil {
+				compact = append(compact, mq)
+			}
+		}
+		m.active = compact
+		if len(m.active) == 0 {
+			return
+		}
+	}
+}
+
+// processWindowLocked commits one window: coalesce, schedule into waves,
+// and drive each wave through one prepare barrier, one window-order
+// apply pass and one commit barrier. Returns false when the pass must
+// abort (trusted-stream apply error). Stage spans for wave members are
+// attributed per member (the per-wave span divided by the wave size);
+// raw updates dropped by coalescing still observe all five per-update
+// stages with zero prepare/commit/post durations, so stage sample counts
+// keep matching the applied-update count.
+func (m *MultiEngine) processWindowLocked(ctx context.Context, raw stream.Stream, rawOff int, bt *BatchTimes, idx []int) bool {
+	w := m.mwin
+	active := m.active
+	tr := m.cfg.Tracer
+
+	tC := time.Now()
+	var cst stream.CoalesceStats
+	w.buf, cst = w.coal.Coalesce(w.buf[:0], raw)
+	coalesceCost := time.Since(tC)
+	batch := w.buf
+	n := len(batch)
+	src := w.coal.Src()
+
+	origIdx := func(rawI int) int {
+		gi := rawOff + rawI
+		if idx != nil {
+			gi = idx[gi]
+		}
+		return gi
+	}
+	if tr != nil {
+		// Coalesced-out raw updates never reach the lockstep loop but were
+		// counted applied by the caller: observe their stages here (real
+		// queue waits, zero engine-side durations) so counts reconcile.
+		si := 0
+		for i := range raw {
+			for si < len(src) && int(src[si]) < i {
+				si++
+			}
+			if si < len(src) && int(src[si]) == i {
+				continue
+			}
+			wait, assemble := bt.stageWaits(origIdx(i))
+			st := tr.Stages()
+			st.Observe(obs.StageIngestWait, wait)
+			st.Observe(obs.StageAssemble, assemble)
+			st.Observe(obs.StagePreApply, 0)
+			st.Observe(obs.StageCommit, 0)
+			st.Observe(obs.StagePostApply, 0)
+			tr.Stage(obs.Event{
+				Op: raw[i].Op.String(), U: uint32(raw[i].U), V: uint32(raw[i].V),
+				IngestWait: wait, Assemble: assemble,
+				Total: wait + assemble,
+			})
+		}
+	}
+	if n == 0 {
+		m.statsWinLocked(WindowCounters{Windows: 1, Coalesced: cst.Removed(), Annihilated: cst.AnnihilatedPairs})
+		if tr != nil {
+			st := tr.Stages()
+			st.Observe(obs.StageCoalesce, coalesceCost)
+			tr.Window(uint64(cst.Removed()), uint64(cst.AnnihilatedPairs), 0, 0)
+		}
+		return true
+	}
+
+	radius, labelOK := m.winMaskLocked(active)
+	for _, mq := range active {
+		buf := mq.eng.sharedBuf
+		if cap(buf) < n {
+			buf = make([]sharedPending, n)
+		}
+		buf = buf[:n]
+		for j := range buf {
+			buf[j] = sharedPending{}
+		}
+		mq.eng.sharedBuf = buf
+	}
+	m.winCur.ctx = ctx
+	m.winCur.batch = batch
+	m.winCur.n = n
+	m.winCur.base = rawOff
+	m.winCur.src = src
+
+	wc := WindowCounters{Windows: 1, Coalesced: cst.Removed(), Annihilated: cst.AnnihilatedPairs}
+	var conflictCost, parallelSpan time.Duration
+	var clk obs.StageClock
+	// One non-local algorithm (no csm.FootprintLocal) forces the whole
+	// window serial: waves are shared across queries, and a wave that is
+	// sound for every query but one is not a wave at all.
+	local := true
+	for _, mq := range active {
+		if _, ok := mq.eng.algo.(csm.FootprintLocal); !ok {
+			local = false
+			break
+		}
+	}
+
+	w.sched.reset(n)
+	rounds, singles := 0, 0
+	probe := true
+	if !local {
+		probe = false
+		singles = winSingleCap // always the singleton-drain branch
+	} else if w.skipSched > 0 {
+		w.skipSched--
+		probe = false
+		singles = winSingleCap // forces the singleton-drain branch
+	}
+	for len(w.sched.pending) > 0 {
+		var members []int32
+		if rounds >= winRoundCap || singles >= winSingleCap {
+			// Pathological conflict chain: drain the remainder as
+			// singleton waves (the v1 per-update path) to bound cost.
+			members = w.sched.pending[:1]
+			w.sched.pending = w.sched.pending[1:]
+		} else {
+			rounds++
+			tB := time.Now()
+			members = w.sched.nextWave(m.g, batch, radius, m.cfg.FootprintCap, labelOK)
+			conflictCost += time.Since(tB)
+			if len(members) == 1 {
+				singles++
+			} else {
+				singles = 0
+			}
+		}
+		wc.Groups++
+		if len(members) > wc.MaxGroup {
+			wc.MaxGroup = len(members)
+		}
+		if len(members) == 1 {
+			wc.FallbackSerial++
+		} else {
+			wc.UnsafeParallel += len(members)
+		}
+		m.winCur.members = members
+
+		if tr != nil {
+			clk.Start()
+		}
+		if len(members) == 1 && !batch[members[0]].IsEdge() {
+			// Vertex ops have a trivial read-only phase; skip the barrier.
+			for _, mq := range active {
+				mq.eng.sharedBuf[members[0]] = sharedPending{verdict: classVertexOp}
+			}
+		} else {
+			fanOut(active, m.fanPrepareWin)
+		}
+		var preApply time.Duration
+		if tr != nil {
+			preApply = clk.Lap()
+		}
+		for _, j := range members {
+			if err := batch[j].Apply(m.g); err != nil {
+				gi := rawOff + int(src[j])
+				for _, mq := range active {
+					mq.err = fmt.Errorf("update %d (%v): %w", gi, batch[j], err)
+				}
+				return false
+			}
+		}
+		var commitSpan time.Duration
+		if tr != nil {
+			commitSpan = clk.Lap()
+		}
+		tP := time.Now()
+		fanOut(active, m.fanCommitWin)
+		if len(members) > 1 {
+			parallelSpan += time.Since(tP)
+		}
+		if tr != nil {
+			postApply := clk.Lap()
+			per := time.Duration(len(members))
+			for _, j := range members {
+				wait, assemble := bt.stageWaits(origIdx(int(src[j])))
+				st := tr.Stages()
+				st.Observe(obs.StageIngestWait, wait)
+				st.Observe(obs.StageAssemble, assemble)
+				st.Observe(obs.StagePreApply, preApply/per)
+				st.Observe(obs.StageCommit, commitSpan/per)
+				st.Observe(obs.StagePostApply, postApply/per)
+				tr.Stage(obs.Event{
+					Op: batch[j].Op.String(), U: uint32(batch[j].U), V: uint32(batch[j].V),
+					IngestWait: wait, Assemble: assemble, PreApply: preApply / per,
+					Commit: commitSpan / per, PostApply: postApply / per,
+					Total: wait + assemble + (preApply+commitSpan+postApply)/per,
+				})
+			}
+		}
+	}
+
+	if probe {
+		if wc.UnsafeParallel > 0 {
+			w.backoff = 0
+		} else {
+			w.backoff = w.backoff*2 + 1
+			if w.backoff > winSkipCap {
+				w.backoff = winSkipCap
+			}
+			w.skipSched = w.backoff
+		}
+	}
+
+	m.statsWinLocked(wc)
+	if tr != nil {
+		st := tr.Stages()
+		st.Observe(obs.StageCoalesce, coalesceCost)
+		st.Observe(obs.StageConflictBuild, conflictCost)
+		st.Observe(obs.StageParallelUnsafe, parallelSpan)
+		tr.Window(uint64(wc.Coalesced), uint64(wc.Annihilated), uint64(wc.UnsafeParallel), uint64(wc.FallbackSerial))
+		tr.Stage(obs.Event{
+			Op: obs.OpWindow, Coalesce: coalesceCost, ConflictBuild: conflictCost,
+			ParallelUnsafe: parallelSpan, Total: coalesceCost + conflictCost + parallelSpan,
+		})
+	}
+
+	// Deferred emission, in window order, per engine (queries fan out
+	// concurrently; within one query the loop is serial, preserving the
+	// OnDelta serialization contract).
+	fanOut(active, m.fanEmitWin)
+	return true
+}
+
+// statsWinLocked folds one window's counters into the driver tally.
+func (m *MultiEngine) statsWinLocked(wc WindowCounters) {
+	m.winStats.Add(wc)
+}
+
+// WindowCounters returns the driver-level batch-dynamic counters: one
+// tally per shared-graph window, counted once per update rather than per
+// query. Zero-valued unless Config.Window > 1.
+func (m *MultiEngine) WindowCounters() WindowCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.winStats
+}

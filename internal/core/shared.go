@@ -41,6 +41,11 @@ type sharedPending struct {
 	// adds its own share so TTotal never includes the driver's fan-out
 	// barrier waits.
 	prepElapsed time.Duration
+	// err and done are used only by the windowed driver's slot buffer
+	// (see multiwindow.go), which defers OnDelta emission to window end:
+	// done marks a committed slot, err its commit error.
+	err  error
+	done bool
 }
 
 // sharedFullPath reports whether the verdict requires the full
@@ -58,9 +63,15 @@ func sharedFullPath(v classification) bool {
 // the full path it enumerates the expiring matches now, while the edge is
 // still present.
 func (e *Engine) sharedPrepare(ctx context.Context, upd stream.Update) {
+	e.sharedPrepareInto(ctx, upd, &e.shared)
+}
+
+// sharedPrepareInto is sharedPrepare writing into an explicit slot: the
+// windowed driver keeps one sharedPending per coalesced update so a whole
+// independent set can sit between its prepare and commit barriers.
+func (e *Engine) sharedPrepareInto(ctx context.Context, upd stream.Update, p *sharedPending) {
 	t0 := time.Now()
-	e.shared = sharedPending{}
-	p := &e.shared
+	*p = sharedPending{}
 	switch {
 	case !upd.IsEdge():
 		p.verdict = classVertexOp
@@ -86,7 +97,15 @@ func (e *Engine) sharedPrepare(ctx context.Context, upd stream.Update) {
 // ProcessUpdate: the mutation and ADS maintenance are applied, the Delta
 // is a partial lower-bound ΔM.
 func (e *Engine) sharedCommit(ctx context.Context, upd stream.Update) (csm.Delta, error) {
-	p := &e.shared
+	return e.sharedCommitFrom(ctx, upd, &e.shared, true)
+}
+
+// sharedCommitFrom is sharedCommit reading from an explicit slot. With
+// emit false the OnDelta callback is suppressed — the windowed driver
+// emits slot deltas itself at window end, in window order (commuting
+// updates make the delta values order-independent, so deferral only
+// restores the observable order).
+func (e *Engine) sharedCommitFrom(ctx context.Context, upd stream.Update, p *sharedPending, emit bool) (csm.Delta, error) {
 	t0 := time.Now()
 	simulate := e.cfg.Simulate && e.cfg.Threads > 1
 
@@ -122,7 +141,7 @@ func (e *Engine) sharedCommit(ctx context.Context, upd stream.Update) (csm.Delta
 			}
 			e.traceUpdate(upd, p.verdict, false, &p.d, &p.r, total, err != nil)
 		}
-		if e.cfg.OnDelta != nil {
+		if emit && e.cfg.OnDelta != nil {
 			e.cfg.OnDelta(upd, p.d, err != nil)
 		}
 		return p.d, err
@@ -162,15 +181,15 @@ func (e *Engine) sharedCommit(ctx context.Context, upd stream.Update) (csm.Delta
 	if e.lat != nil {
 		e.lat.Observe(total)
 	}
-	d := csm.Delta{TADS: tads}
+	p.d = csm.Delta{TADS: tads}
 	if e.cfg.Tracer != nil {
 		var r innerResult
-		e.traceUpdate(upd, p.verdict, false, &d, &r, total, false)
+		e.traceUpdate(upd, p.verdict, false, &p.d, &r, total, false)
 	}
-	if e.cfg.OnDelta != nil {
+	if emit && e.cfg.OnDelta != nil {
 		// Safe updates carry an empty ΔM by construction; the callback
 		// still fires so subscribers observe stream progress.
-		e.cfg.OnDelta(upd, d, false)
+		e.cfg.OnDelta(upd, p.d, false)
 	}
-	return d, nil
+	return p.d, nil
 }

@@ -345,3 +345,77 @@ func (d *Dataset) MixedStream(delFrac float64) stream.Stream {
 	}
 	return out
 }
+
+// DeletionHeavyStream returns a churn stream over the holdout edges where
+// delRatio of the updates are deletions, interleaved with the inserts
+// rather than appended after them (contrast MixedStream): edges are
+// inserted, randomly deleted while other inserts are still in flight, and
+// about half of the deleted edges are re-inserted later. The interleaving
+// creates the insert/delete proximity the batch-dynamic window coalescer
+// annihilates and the delete-then-reinsert retouches it folds. delRatio
+// is clamped to [0, 0.9]; the stream applies cleanly against d.Graph and
+// is deterministic for a dataset built with a fixed Seed.
+func (d *Dataset) DeletionHeavyStream(delRatio float64) stream.Stream {
+	if delRatio < 0 {
+		delRatio = 0
+	}
+	if delRatio > 0.9 {
+		delRatio = 0.9
+	}
+	pending := append(stream.Stream(nil), d.Stream...)
+	var alive stream.Stream
+	var out stream.Stream
+	budget := 3 * len(d.Stream)
+	for len(out) < budget && (len(pending) > 0 || len(alive) > 0) {
+		doDel := len(alive) > 0 && (len(pending) == 0 || d.rng.Float64() < delRatio)
+		if !doDel {
+			ins := pending[0]
+			pending = pending[1:]
+			out = append(out, ins)
+			alive = append(alive, ins)
+			continue
+		}
+		i := d.rng.Intn(len(alive))
+		ins := alive[i]
+		alive[i] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		del, err := ins.Invert()
+		if err != nil {
+			continue
+		}
+		out = append(out, del)
+		if d.rng.Float64() < 0.5 {
+			pending = append(pending, ins) // churn: the edge comes back later
+		}
+	}
+	return out
+}
+
+// BurstyStream returns a stream where every holdout edge is touched
+// burstLen times in a row, alternating insert/delete starting from the
+// insert — the hot-edge burst workload. A burst folds to at most one net
+// update under window coalescing (odd burstLen: the edge ends present;
+// even: it annihilates entirely), so the stream stresses exactly the
+// window-assembly path. burstLen < 1 is treated as 1 (the plain holdout
+// stream); the result applies cleanly against d.Graph.
+func (d *Dataset) BurstyStream(burstLen int) stream.Stream {
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	out := make(stream.Stream, 0, burstLen*len(d.Stream))
+	for _, ins := range d.Stream {
+		del, err := ins.Invert()
+		if err != nil {
+			out = append(out, ins)
+			continue
+		}
+		for k := 0; k < burstLen; k++ {
+			if k%2 == 0 {
+				out = append(out, ins)
+			} else {
+				out = append(out, del)
+			}
+		}
+	}
+	return out
+}

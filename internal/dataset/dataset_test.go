@@ -183,3 +183,64 @@ func TestAllReturnsFourDatasets(t *testing.T) {
 		}
 	}
 }
+
+func TestDeletionHeavyStream(t *testing.T) {
+	d := AmazonLike(Scale(0.003), Seed(9))
+	s := d.DeletionHeavyStream(0.4)
+	if len(s) <= len(d.Stream) {
+		t.Fatalf("churn stream length %d, want > holdout %d", len(s), len(d.Stream))
+	}
+	dels := 0
+	for _, u := range s {
+		if u.Op == stream.DeleteEdge {
+			dels++
+		}
+	}
+	ratio := float64(dels) / float64(len(s))
+	if ratio < 0.25 || ratio > 0.55 {
+		t.Fatalf("delete ratio %.2f, want around 0.4", ratio)
+	}
+	g := d.Graph.Clone()
+	if err := s.ApplyAll(g); err != nil {
+		t.Fatalf("deletion-heavy stream does not apply cleanly: %v", err)
+	}
+	// Deterministic: an identically-seeded dataset produces the same stream.
+	s2 := AmazonLike(Scale(0.003), Seed(9)).DeletionHeavyStream(0.4)
+	if len(s) != len(s2) {
+		t.Fatalf("nondeterministic length: %d vs %d", len(s), len(s2))
+	}
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, s[i], s2[i])
+		}
+	}
+}
+
+func TestBurstyStream(t *testing.T) {
+	d := AmazonLike(Scale(0.003), Seed(9))
+	const burst = 5
+	s := d.BurstyStream(burst)
+	if len(s) != burst*len(d.Stream) {
+		t.Fatalf("bursty stream length %d, want %d", len(s), burst*len(d.Stream))
+	}
+	// Each burst alternates +e/-e on one edge, starting with the insert.
+	for i := 0; i < burst; i++ {
+		want := stream.AddEdge
+		if i%2 == 1 {
+			want = stream.DeleteEdge
+		}
+		if s[i].Op != want {
+			t.Fatalf("burst position %d has op %v, want %v", i, s[i].Op, want)
+		}
+		if s[i].U != s[0].U || s[i].V != s[0].V {
+			t.Fatalf("burst position %d touches (%d,%d), want (%d,%d)", i, s[i].U, s[i].V, s[0].U, s[0].V)
+		}
+	}
+	g := d.Graph.Clone()
+	if err := s.ApplyAll(g); err != nil {
+		t.Fatalf("bursty stream does not apply cleanly: %v", err)
+	}
+	if d.BurstyStream(0); len(d.BurstyStream(1)) != len(d.Stream) {
+		t.Fatal("burstLen 1 must reproduce the holdout stream length")
+	}
+}

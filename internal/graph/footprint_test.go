@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// pathGraph builds 0-1-2-...-(n-1) with vertex labels given by lab(i).
+func pathGraph(n int, lab func(int) Label) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(lab(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(VertexID(i), VertexID(i+1), 0)
+	}
+	return g
+}
+
+func footIDs(t *testing.T, fs *FootprintScratch, g *Graph, u, v VertexID, radius, max int, ok []bool) []int {
+	t.Helper()
+	f, over := fs.Footprint(g, u, v, radius, max, ok)
+	if over {
+		t.Fatalf("Footprint(%d,%d) overflowed unexpectedly", u, v)
+	}
+	out := make([]int, len(f))
+	for i, x := range f {
+		out[i] = int(x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestFootprintRadius(t *testing.T) {
+	g := pathGraph(10, func(int) Label { return 0 })
+	var fs FootprintScratch
+	got := footIDs(t, &fs, g, 4, 5, 2, 100, nil)
+	// Radius 2 around the edge (4,5) on a path: 2..7.
+	want := []int{2, 3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("footprint = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("footprint = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFootprintLabelFilter(t *testing.T) {
+	// Vertices 0..9 on a path, odd ids labeled 1, even labeled 0. With
+	// only label 0 relevant, expansion stops at the first irrelevant
+	// vertex in each direction: it is included (it was pushed as a
+	// neighbor read) but never expanded through.
+	g := pathGraph(10, func(i int) Label { return Label(i % 2) })
+	var fs FootprintScratch
+	got := footIDs(t, &fs, g, 4, 5, 4, 100, []bool{true, false})
+	// 4 and 5 are endpoints (included unconditionally, expanded
+	// unconditionally). Only relevant-labeled neighbors are pulled in:
+	// from 4, neighbor 3 (label 1) is skipped; from 5, neighbor 6
+	// (label 0) joins. 6 expands but its neighbor 7 (label 1) is skipped,
+	// so the walk dies at the label frontier in both directions.
+	want := []int{4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("footprint = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("footprint = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFootprintOverflow(t *testing.T) {
+	// A star: the center's footprint at radius 1 is every vertex, which
+	// exceeds a small cap and must report overflow.
+	g := New(0)
+	c := g.AddVertex(0)
+	for i := 0; i < 20; i++ {
+		v := g.AddVertex(0)
+		g.AddEdge(c, v, 0)
+	}
+	var fs FootprintScratch
+	if _, over := fs.Footprint(g, c, 1, 2, 8, nil); !over {
+		t.Fatal("want overflow with cap 8 on a 21-vertex star")
+	}
+	// The same walk with a generous cap completes.
+	if f, over := fs.Footprint(g, c, 1, 2, 100, nil); over || len(f) != 21 {
+		t.Fatalf("want full 21-vertex footprint, got %d (over=%v)", len(f), over)
+	}
+}
+
+func TestFootprintOutOfRangeEndpoint(t *testing.T) {
+	g := pathGraph(3, func(int) Label { return 0 })
+	var fs FootprintScratch
+	if _, over := fs.Footprint(g, 0, 99, 2, 100, nil); !over {
+		t.Fatal("out-of-range endpoint must report overflow (serial fallback)")
+	}
+}
+
+func TestFootprintScratchReuse(t *testing.T) {
+	g := pathGraph(8, func(int) Label { return 0 })
+	var fs FootprintScratch
+	a := footIDs(t, &fs, g, 0, 1, 1, 100, nil)
+	b := footIDs(t, &fs, g, 6, 7, 1, 100, nil)
+	// Epoch-stamped visited state: the second call must not see the
+	// first call's marks.
+	if len(a) != 3 || len(b) != 3 { // {0,1,2} and {5,6,7}
+		t.Fatalf("footprints %v / %v, want 3 vertices each", a, b)
+	}
+	for _, x := range b {
+		if x < 5 {
+			t.Fatalf("second footprint leaked first call's vertices: %v", b)
+		}
+	}
+}
+
+func TestFootprintZeroAllocSteadyState(t *testing.T) {
+	g := pathGraph(64, func(i int) Label { return Label(i % 3) })
+	var fs FootprintScratch
+	ok := []bool{true, true, true}
+	fs.Footprint(g, 10, 11, 4, 512, ok) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		fs.Footprint(g, 30, 31, 4, 512, ok)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Footprint allocates %.1f/op, want 0", allocs)
+	}
+}

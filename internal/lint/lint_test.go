@@ -163,8 +163,9 @@ func TestNoAllocPinsHotPath(t *testing.T) {
 			"SearchIDs", "AdvanceIDs",
 			"IntersectNeighborIDs", "IntersectIDsNeighbors", "IntersectIDs",
 		},
-		"../obs/stage.go":  {"Observe", "Start", "Mark", "Lap"},
-		"../obs/tracer.go": {"ServerEvent", "Stage"},
+		"../graph/footprint.go": {"Footprint", "labelRelevant"},
+		"../obs/stage.go":       {"Observe", "Start", "Mark", "Lap"},
+		"../obs/tracer.go":      {"ServerEvent", "Stage"},
 	}
 	for file, fns := range pins {
 		data, err := os.ReadFile(file)

@@ -37,21 +37,33 @@ type Analysis struct {
 	ServerEvents int
 	ByServerOp   map[string]uint64
 
-	// StageEvents counts Class "stage" rows (one per applied update in a
-	// lockstep-driven trace); Stages sums their per-stage durations.
-	StageEvents int
-	Stages      StageBreakdown
+	// StageEvents counts per-update Class "stage" rows (one per applied
+	// update in a lockstep-driven trace); Stages sums their per-stage
+	// durations. WindowEvents counts per-window stage rows (Op "win",
+	// one per executed window of the batch-dynamic executor), summed
+	// into the window stages of the breakdown.
+	StageEvents  int
+	WindowEvents int
+	Stages       StageBreakdown
 }
 
 // StageBreakdown is the summed pipeline stage time of a trace's stage
-// events (see obs.Stage for the stage model).
+// events (see obs.Stage for the stage model). The first five stages are
+// per-update; the window stages are per-window (batch-dynamic executor).
 type StageBreakdown struct {
 	IngestWait, Assemble, PreApply, Commit, PostApply time.Duration
+	Coalesce, ConflictBuild, ParallelUnsafe           time.Duration
 }
 
-// Total returns the summed time across all stages.
+// Total returns the summed time across all per-update stages (window
+// stage time overlaps the per-update stages and is reported separately).
 func (b StageBreakdown) Total() time.Duration {
 	return b.IngestWait + b.Assemble + b.PreApply + b.Commit + b.PostApply
+}
+
+// WindowTotal returns the summed time across the window stages.
+func (b StageBreakdown) WindowTotal() time.Duration {
+	return b.Coalesce + b.ConflictBuild + b.ParallelUnsafe
 }
 
 // Analyze digests a slice of trace events; topK bounds len(Stragglers).
@@ -69,6 +81,13 @@ func Analyze(evs []Event, topK int) Analysis {
 			a.ByServerOp[ev.Op] += ev.Matches
 			continue
 		case ClassStage:
+			if ev.Op == OpWindow {
+				a.WindowEvents++
+				a.Stages.Coalesce += ev.Coalesce
+				a.Stages.ConflictBuild += ev.ConflictBuild
+				a.Stages.ParallelUnsafe += ev.ParallelUnsafe
+				continue
+			}
 			a.StageEvents++
 			a.Stages.IngestWait += ev.IngestWait
 			a.Stages.Assemble += ev.Assemble
@@ -155,6 +174,14 @@ func (a Analysis) Render(w io.Writer) {
 		fmt.Fprintf(w, "stage shares  : ingest-wait %.1f%%  assemble %.1f%%  pre-apply %.1f%%  commit %.1f%%  post-apply %.1f%%\n",
 			share(a.Stages.IngestWait), share(a.Stages.Assemble),
 			share(a.Stages.PreApply), share(a.Stages.Commit), share(a.Stages.PostApply))
+	}
+	if a.WindowEvents > 0 {
+		fmt.Fprintf(w, "windows       : %d executed, %v window-stage time\n",
+			a.WindowEvents, a.Stages.WindowTotal().Round(time.Microsecond))
+		fmt.Fprintf(w, "window stages : coalesce %v  conflict-build %v  parallel-unsafe %v\n",
+			a.Stages.Coalesce.Round(time.Microsecond),
+			a.Stages.ConflictBuild.Round(time.Microsecond),
+			a.Stages.ParallelUnsafe.Round(time.Microsecond))
 	}
 	if a.Events == 0 {
 		return

@@ -43,6 +43,15 @@ const (
 	// StageWire is the wire serialization + write of a delta frame
 	// (sampled per delivered delta frame).
 	StageWire
+	// StageCoalesce is the batch-dynamic executor's window coalescing
+	// pass (one observation per window, not per update).
+	StageCoalesce
+	// StageConflictBuild is the conflict-footprint BFS + independent-set
+	// grouping over a window's updates (per window).
+	StageConflictBuild
+	// StageParallelUnsafe is the concurrent execution span of one
+	// multi-update independent group (per group of size > 1).
+	StageParallelUnsafe
 	numStages
 )
 
@@ -50,6 +59,7 @@ const (
 var stageNames = [numStages]string{
 	"ingest_wait", "assemble", "pre_apply", "commit", "post_apply",
 	"fanout", "sub_queue", "wire_write",
+	"coalesce", "conflict_build", "parallel_unsafe",
 }
 
 // String returns the stage's metric-friendly name.

@@ -13,9 +13,12 @@ func TestStageNames(t *testing.T) {
 		StagePreApply:   "pre_apply",
 		StageCommit:     "commit",
 		StagePostApply:  "post_apply",
-		StageFanout:     "fanout",
-		StageSubQueue:   "sub_queue",
-		StageWire:       "wire_write",
+		StageFanout:         "fanout",
+		StageSubQueue:       "sub_queue",
+		StageWire:           "wire_write",
+		StageCoalesce:       "coalesce",
+		StageConflictBuild:  "conflict_build",
+		StageParallelUnsafe: "parallel_unsafe",
 	}
 	if len(want) != NumStages {
 		t.Fatalf("test covers %d stages, NumStages = %d", len(want), NumStages)

@@ -1,0 +1,252 @@
+package stream
+
+import (
+	"testing"
+
+	"paracosm/internal/graph"
+)
+
+func upd(op Op, u, v graph.VertexID, el graph.Label) Update {
+	return Update{Op: op, U: u, V: v, ELabel: el}
+}
+
+func coalesce(t *testing.T, w Stream) (Stream, CoalesceStats) {
+	t.Helper()
+	c := NewCoalescer()
+	out, st := c.Coalesce(nil, w)
+	if st.In != len(w) || st.Out != len(out) {
+		t.Fatalf("stats In/Out = %d/%d, want %d/%d", st.In, st.Out, len(w), len(out))
+	}
+	if 2*st.AnnihilatedPairs != st.Removed() {
+		t.Fatalf("2*pairs = %d but removed = %d", 2*st.AnnihilatedPairs, st.Removed())
+	}
+	checkSrc(t, c, w, out)
+	return out, st
+}
+
+// checkSrc asserts the Src disposition map is well formed: one entry per
+// output, nondecreasing, in range, and pointing at a same-edge (or same
+// vertex-op) input.
+func checkSrc(t *testing.T, c *Coalescer, w, out Stream) {
+	t.Helper()
+	src := c.Src()
+	if len(src) != len(out) {
+		t.Fatalf("len(Src) = %d, want %d outputs", len(src), len(out))
+	}
+	prev := int32(-1)
+	for k, s := range src {
+		if s < prev || int(s) >= len(w) {
+			t.Fatalf("Src[%d] = %d out of order or range (prev %d, |w| %d)", k, s, prev, len(w))
+		}
+		prev = s
+		in, o := w[s], out[k]
+		if in.IsEdge() != o.IsEdge() {
+			t.Fatalf("Src[%d] = %d: kind mismatch (%v -> %v)", k, s, in, o)
+		}
+		if o.IsEdge() && edgeKey(in.U, in.V) != edgeKey(o.U, o.V) {
+			t.Fatalf("Src[%d] = %d: edge mismatch (%v -> %v)", k, s, in, o)
+		}
+	}
+}
+
+func wantStream(t *testing.T, got, want Stream) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d updates %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("update %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCoalesceAnnihilation(t *testing.T) {
+	out, st := coalesce(t, Stream{upd(AddEdge, 0, 1, 2), upd(DeleteEdge, 0, 1, 0)})
+	wantStream(t, out, nil)
+	if st.AnnihilatedPairs != 1 {
+		t.Fatalf("pairs = %d, want 1", st.AnnihilatedPairs)
+	}
+}
+
+func TestCoalesceKeepsLastInsert(t *testing.T) {
+	out, _ := coalesce(t, Stream{
+		upd(AddEdge, 0, 1, 2), upd(DeleteEdge, 0, 1, 0), upd(AddEdge, 1, 0, 7),
+	})
+	// The surviving insert is the last one, endpoints and label verbatim.
+	wantStream(t, out, Stream{upd(AddEdge, 1, 0, 7)})
+}
+
+func TestCoalesceRetouch(t *testing.T) {
+	// First touch is a delete and the edge ends present: keep the delete
+	// and the final insert (the original label is unknowable here).
+	out, st := coalesce(t, Stream{
+		upd(DeleteEdge, 0, 1, 0), upd(AddEdge, 0, 1, 3),
+		upd(DeleteEdge, 0, 1, 0), upd(AddEdge, 0, 1, 5),
+	})
+	wantStream(t, out, Stream{upd(DeleteEdge, 0, 1, 0), upd(AddEdge, 0, 1, 5)})
+	if st.AnnihilatedPairs != 1 {
+		t.Fatalf("pairs = %d, want 1", st.AnnihilatedPairs)
+	}
+}
+
+func TestCoalesceFirstDeleteOdd(t *testing.T) {
+	out, _ := coalesce(t, Stream{
+		upd(DeleteEdge, 0, 1, 0), upd(AddEdge, 0, 1, 3), upd(DeleteEdge, 0, 1, 0),
+	})
+	wantStream(t, out, Stream{upd(DeleteEdge, 0, 1, 0)})
+}
+
+func TestCoalesceVertexBarrier(t *testing.T) {
+	w := Stream{
+		upd(AddEdge, 0, 1, 2),
+		{Op: AddVertex, VLabel: 4},
+		upd(DeleteEdge, 0, 1, 0),
+	}
+	out, st := coalesce(t, w)
+	wantStream(t, out, w) // the barrier splits the pair: nothing coalesces
+	if st.Barriers != 1 {
+		t.Fatalf("barriers = %d, want 1", st.Barriers)
+	}
+}
+
+func TestCoalesceMalformedPassthrough(t *testing.T) {
+	// A non-alternating history cannot arise from a valid stream; it is
+	// passed through verbatim so the apply error surfaces unchanged.
+	w := Stream{upd(AddEdge, 0, 1, 2), upd(AddEdge, 0, 1, 2), upd(DeleteEdge, 0, 1, 0)}
+	out, st := coalesce(t, w)
+	wantStream(t, out, w)
+	if st.AnnihilatedPairs != 0 {
+		t.Fatalf("pairs = %d, want 0", st.AnnihilatedPairs)
+	}
+}
+
+func TestCoalesceFirstTouchOrder(t *testing.T) {
+	// Kept updates surface at the position of their edge's first touch.
+	out, _ := coalesce(t, Stream{
+		upd(AddEdge, 0, 1, 2),            // edge A, survives (odd)
+		upd(AddEdge, 2, 3, 1),            // edge B, annihilates
+		upd(AddEdge, 4, 5, 6),            // edge C, untouched
+		upd(DeleteEdge, 2, 3, 0),         // edge B
+		upd(DeleteEdge, 0, 1, 0),         // edge A
+		upd(AddEdge, 0, 1, 9),            // edge A, last insert
+		upd(DeleteEdge, 6, 7, 0),         // edge D, untouched
+	})
+	wantStream(t, out, Stream{
+		upd(AddEdge, 0, 1, 9), upd(AddEdge, 4, 5, 6), upd(DeleteEdge, 6, 7, 0),
+	})
+}
+
+func TestCoalescerReuse(t *testing.T) {
+	c := NewCoalescer()
+	var buf Stream
+	for round := 0; round < 3; round++ {
+		var st CoalesceStats
+		buf, st = c.Coalesce(buf[:0], Stream{
+			upd(AddEdge, 0, 1, 2), upd(DeleteEdge, 0, 1, 0), upd(AddEdge, 2, 3, 1),
+		})
+		wantStream(t, buf, Stream{upd(AddEdge, 2, 3, 1)})
+		if st.AnnihilatedPairs != 1 {
+			t.Fatalf("round %d: pairs = %d, want 1", round, st.AnnihilatedPairs)
+		}
+	}
+}
+
+// graphsEqual compares vertex labels, liveness and full adjacency. The
+// adjacency layout is deterministic (sorted by neighbor label then id),
+// so equal graphs have identical Neighbors slices.
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if a.Alive(id) != b.Alive(id) || a.Label(id) != b.Label(id) {
+			return false
+		}
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildValidWindow decodes fuzz bytes into a window that applies cleanly
+// to the returned base graph: each candidate op is validated against (and
+// applied to) a model clone as it is generated, so the window is valid by
+// construction. The tiny vertex space makes repeated touches and exact
+// insert/delete pairs common.
+func buildValidWindow(data []byte) (*graph.Graph, Stream) {
+	base := graph.New(0)
+	for i := 0; i < 6; i++ {
+		base.AddVertex(graph.Label(i % 3))
+	}
+	base.AddEdge(0, 1, 1)
+	base.AddEdge(1, 2, 2)
+	base.AddEdge(3, 4, 1)
+
+	model := base.Clone()
+	var w Stream
+	for i := 0; i+2 < len(data); i += 3 {
+		c, a, b := data[i], data[i+1], data[i+2]
+		n := graph.VertexID(model.NumVertices())
+		u, v := graph.VertexID(a)%n, graph.VertexID(b)%n
+		var cand Update
+		switch c % 8 {
+		case 0, 1, 2: // insert
+			cand = Update{Op: AddEdge, U: u, V: v, ELabel: graph.Label(c % 4)}
+		case 3, 4, 5: // delete
+			cand = Update{Op: DeleteEdge, U: u, V: v}
+		case 6:
+			cand = Update{Op: AddVertex, VLabel: graph.Label(a % 3)}
+		default:
+			cand = Update{Op: DeleteVertex, U: u}
+			if model.Alive(u) && model.Degree(u) != 0 {
+				continue // Apply would panic; only isolated deletes are valid
+			}
+		}
+		if err := cand.Apply(model); err != nil {
+			continue // invalid against the current state; skip
+		}
+		w = append(w, cand)
+	}
+	return base, w
+}
+
+// FuzzCoalesce checks delta-semantics preservation: for any window that
+// applies cleanly, the coalesced window applies cleanly too and produces
+// the same final graph, and the stats reconcile.
+func FuzzCoalesce(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 3, 0, 1})                   // insert then delete
+	f.Add([]byte{3, 0, 1, 0, 0, 1, 3, 0, 1, 0, 0, 1}) // retouch chain
+	f.Add([]byte{0, 2, 3, 6, 9, 9, 3, 2, 3})          // vertex barrier mid-window
+	f.Add([]byte{7, 5, 0, 0, 0, 5, 3, 5, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, w := buildValidWindow(data)
+		c := NewCoalescer()
+		out, st := c.Coalesce(nil, w)
+
+		if st.In != len(w) || st.Out != len(out) || st.AnnihilatedPairs*2 != st.Removed() {
+			t.Fatalf("stats do not reconcile: %+v (|w|=%d |out|=%d)", st, len(w), len(out))
+		}
+		checkSrc(t, c, w, out)
+
+		g1 := base.Clone()
+		if err := w.ApplyAll(g1); err != nil {
+			t.Fatalf("window invalid by construction: %v", err)
+		}
+		g2 := base.Clone()
+		if err := out.ApplyAll(g2); err != nil {
+			t.Fatalf("coalesced window does not apply: %v\nwindow: %v\ncoalesced: %v", err, w, out)
+		}
+		if !graphsEqual(g1, g2) {
+			t.Fatalf("final graphs differ\nwindow: %v\ncoalesced: %v", w, out)
+		}
+	})
+}

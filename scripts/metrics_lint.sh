@@ -27,8 +27,11 @@ QUERY="$(ls "$WORK"/query_*.txt | head -1)"
 STREAM="$WORK/insertion_stream.txt"
 
 echo "== serve on $ADDR =="
+# -window turns on the batch-dynamic executor so the paracosm_window_*
+# counters move between the two scrapes (monotonicity is then checked on
+# live, not frozen-at-zero, series).
 "$WORK/paracosm" serve -data "$WORK/data_graph.txt" -addr "$ADDR" \
-    -threads 2 -debug-addr "$DBG" >"$WORK/serve.out" 2>&1 &
+    -threads 2 -window 8 -debug-addr "$DBG" >"$WORK/serve.out" 2>&1 &
 SRV_PID=$!
 
 ok=""
@@ -79,6 +82,10 @@ echo "== scrape 2 (after traffic, query live) =="
 curl -sf "http://$DBG/metrics" >"$WORK/scrape2.txt"
 wc -l "$WORK/scrape2.txt"
 grep -q '^paracosm_query_updates{name="q\\"lint' "$WORK/scrape2.txt"
+# The windowed executor must have committed the client's stream: every
+# update lands in either a parallel group or a serial fallback.
+awk '/^paracosm_window_(unsafe_parallel|fallback_serial)_total /{n+=$2} END{exit n>0?0:1}' "$WORK/scrape2.txt" \
+    || { echo "window counters did not move under -window traffic" >&2; exit 1; }
 
 echo "== metricslint =="
 "$WORK/metricslint" "$WORK/scrape1.txt" "$WORK/scrape2.txt"
