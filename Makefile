@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-json test race bench bench-json bench-compare debug-smoke serve-smoke metrics-lint fuzz experiments examples clean
+.PHONY: all build lint lint-json test race bench bench-json bench-compare debug-smoke serve-smoke metrics-lint recover-smoke fuzz experiments examples clean
 
 all: lint test
 
@@ -68,12 +68,20 @@ serve-smoke:
 metrics-lint:
 	./scripts/metrics_lint.sh
 
+# Crash-recovery smoke of the durability layer: kill -9 a WAL-enabled
+# server mid-stream, restart it, and require the recovered totals to
+# equal the sequential prefix oracle — then resume the stream and match
+# the uninterrupted full-stream oracle.
+recover-smoke:
+	./scripts/recover_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzLabelIndex -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/stream/
 	$(GO) test -fuzz FuzzCoalesce -fuzztime 30s ./internal/stream/
 	$(GO) test -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzWALRecord -fuzztime 30s ./internal/wal/
 
 # Regenerate every paper table/figure plus ablations at the default
 # laptop-friendly configuration (see EXPERIMENTS.md for the recorded run).

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -9,8 +10,10 @@ import (
 	"time"
 
 	"paracosm/internal/core"
+	"paracosm/internal/graph"
 	"paracosm/internal/obs"
 	"paracosm/internal/server"
+	"paracosm/internal/wal"
 )
 
 // serveMain implements `paracosm serve`: a long-running streaming CSM
@@ -36,6 +39,10 @@ func serveMain(args []string) {
 		traceCap    = fs.Int("trace-cap", obs.DefaultRingCap, "trace ring capacity")
 		window      = fs.Int("window", 0, "batch-dynamic window size in updates (0/1 = per-update execution)")
 		footCap     = fs.Int("footprint-cap", 0, "conflict-footprint vertex cap before serial fallback (default 512)")
+		walDir      = fs.String("wal-dir", "", "durability directory: write-ahead log + snapshots; restart recovers from it")
+		snapEvery   = fs.Int("snapshot-every", 0, "snapshot cadence in applied updates (default 65536, negative disables)")
+		fsyncMode   = fs.String("fsync", "interval", "WAL fsync policy: interval | always | off")
+		fsyncEvery  = fs.Duration("fsync-interval", 0, "group-commit fsync cadence under -fsync interval (default 50ms)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: paracosm serve -data graph.txt [-addr host:port] [options]")
@@ -44,11 +51,20 @@ func serveMain(args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	if *dataPath == "" {
+	if *dataPath == "" && *walDir == "" {
+		// With -wal-dir, the graph comes from the recovered snapshot (or
+		// starts empty on the very first boot), so -data is optional.
 		fs.Usage()
 		os.Exit(2)
 	}
-	g := mustGraph(*dataPath)
+	fsyncPolicy, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
+	g := graph.New(0)
+	if *dataPath != "" {
+		g = mustGraph(*dataPath)
+	}
 
 	var tracer *obs.Tracer
 	if *debugAddr != "" {
@@ -63,6 +79,10 @@ func serveMain(args []string) {
 		BatchMax:        *batchMax,
 		ReadTimeout:     *readTimeout,
 		Tracer:          tracer,
+		WALDir:          *walDir,
+		SnapshotEvery:   *snapEvery,
+		Fsync:           fsyncPolicy,
+		FsyncInterval:   *fsyncEvery,
 		Engine: []core.Option{
 			core.Threads(*threads),
 			core.InterUpdate(*inter),
@@ -75,7 +95,10 @@ func serveMain(args []string) {
 		fatal(err)
 	}
 	if *debugAddr != "" {
-		mux := obs.NewMux(tracer, srv.WriteMetrics, srv.WriteQueryMetrics)
+		// The readiness gate makes /healthz answer 503 until the WAL
+		// replay completes — the debug server comes up first so probes can
+		// watch recovery progress.
+		mux := obs.NewMuxReady(tracer, srv.Ready, srv.WriteMetrics, srv.WriteQueryMetrics)
 		mux.Handle("/queries", srv.QueriesHandler())
 		dbg, err := obs.StartHandler(*debugAddr, mux)
 		if err != nil {
@@ -85,10 +108,28 @@ func serveMain(args []string) {
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /trace /queries /healthz /debug/pprof)\n", dbg.Addr())
 	}
-	fmt.Fprintf(os.Stderr, "serving on %s (|V|=%d |E|=%d)\n", srv.Addr(), g.NumVertices(), g.NumEdges())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *walDir != "" {
+		// Announce only once recovery finishes (scripts wait on the
+		// "serving on" line or the /healthz 200 it implies); bail out
+		// cleanly if a signal lands mid-replay.
+		readyc := make(chan error, 1)
+		go func() { readyc <- srv.WaitReady(context.Background()) }()
+		select {
+		case err := <-readyc:
+			if err != nil {
+				srv.Close()
+				fatal(err)
+			}
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "shutting down")
+			srv.Close()
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "serving on %s (|V|=%d |E|=%d)\n", srv.Addr(), g.NumVertices(), g.NumEdges())
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down")
 	if err := srv.Close(); err != nil {

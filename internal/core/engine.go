@@ -138,6 +138,16 @@ func (e *Engine) ResetStats() {
 	e.statsMu.Unlock()
 }
 
+// SeedStats folds base into the engine's accumulated instrumentation —
+// the recovery path uses it to restore a query's pre-crash stats
+// baseline from a snapshot, so /queries totals stay monotonic across a
+// restart.
+func (e *Engine) SeedStats(base Stats) {
+	e.statsMu.Lock()
+	e.stats.Add(base)
+	e.statsMu.Unlock()
+}
+
 // Init runs the offline stage of the wrapped algorithm on (g, q).
 func (e *Engine) Init(g *graph.Graph, q *query.Graph) error {
 	if g == nil || q == nil {

@@ -206,6 +206,36 @@ func (m *MultiEngine) RegisterLive(name string, algo csm.Algorithm, q *query.Gra
 	return nil
 }
 
+// RegisterLiveLogged is RegisterLive with a durability hook: persist is
+// called under the engine lock, after the index build succeeds and
+// before the lock is released, so the log append and the registration
+// are one atomic step with respect to batches and snapshots — the log
+// order of records equals their apply order by construction. A persist
+// error unwinds the registration (the engine is closed and discarded)
+// and is returned: a query is either durable and live, or neither.
+func (m *MultiEngine) RegisterLiveLogged(name string, algo csm.Algorithm, q *query.Graph, persist func() error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.g == nil {
+		return fmt.Errorf("core: RegisterLive before Init")
+	}
+	if m.findLocked(name) != nil {
+		return fmt.Errorf("core: query %q already registered", name)
+	}
+	mq := &multiQuery{name: name, algo: algo, q: q}
+	if err := m.initQueryLocked(mq); err != nil {
+		return err
+	}
+	if persist != nil {
+		if err := persist(); err != nil {
+			mq.eng.Close()
+			return fmt.Errorf("core: persist registration: %w", err)
+		}
+	}
+	m.queries = append(m.queries, mq)
+	return nil
+}
+
 // Deregister removes a query and closes its engine (joining its worker
 // pool), so the serving layer can drop a query when its owning connection
 // goes away without tearing down the engine. The dropped query's
@@ -217,6 +247,10 @@ func (m *MultiEngine) RegisterLive(name string, algo csm.Algorithm, q *query.Gra
 func (m *MultiEngine) Deregister(name string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.deregisterLocked(name)
+}
+
+func (m *MultiEngine) deregisterLocked(name string) bool {
 	for i, mq := range m.queries {
 		if mq.name == name {
 			if mq.eng != nil {
@@ -235,6 +269,24 @@ func (m *MultiEngine) Deregister(name string) bool {
 		}
 	}
 	return false
+}
+
+// DeregisterLogged is Deregister with a durability hook, mirroring
+// RegisterLiveLogged: persist runs under the engine lock before the
+// query is removed, and a persist error leaves the query untouched.
+// (false, nil) means the name was unknown (nothing logged).
+func (m *MultiEngine) DeregisterLogged(name string, persist func() error) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.findLocked(name) == nil {
+		return false, nil
+	}
+	if persist != nil {
+		if err := persist(); err != nil {
+			return false, fmt.Errorf("core: persist deregistration: %w", err)
+		}
+	}
+	return m.deregisterLocked(name), nil
 }
 
 func (m *MultiEngine) findLocked(name string) *multiQuery {
@@ -340,6 +392,18 @@ func (m *MultiEngine) ProcessBatch(ctx context.Context, batch stream.Stream) (ap
 // the update applied — so stage sample counts reconcile with the
 // applied-update count by construction.
 func (m *MultiEngine) ProcessBatchTimed(ctx context.Context, batch stream.Stream, bt *BatchTimes) (applied int, err error) {
+	return m.ProcessBatchLogged(ctx, batch, bt, nil)
+}
+
+// ProcessBatchLogged is ProcessBatchTimed with a durability hook: when
+// persist is non-nil it is called with the validated subsequence after
+// speculative validation and before any engine observes an update (the
+// write-ahead ordering — log, then apply). The slice is only valid for
+// the duration of the call. A persist error aborts the batch: the
+// speculative apply is rolled back, no query sees anything, and
+// (0, err) is returned — an update is either durable and applied, or
+// neither.
+func (m *MultiEngine) ProcessBatchLogged(ctx context.Context, batch stream.Stream, bt *BatchTimes, persist func(stream.Stream) error) (applied int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.g == nil {
@@ -380,6 +444,12 @@ func (m *MultiEngine) ProcessBatchTimed(ctx context.Context, batch stream.Stream
 	}
 	if len(m.valid) == 0 {
 		return 0, nil
+	}
+	if persist != nil {
+		if perr := persist(m.valid); perr != nil {
+			m.undo.Rollback(m.g)
+			return 0, fmt.Errorf("core: persist batch: %w", perr)
+		}
 	}
 	if len(m.queries) == 0 {
 		// No queries to drive: the speculative apply already left the
@@ -704,4 +774,33 @@ func (m *MultiEngine) Engine(name string) *Engine {
 		return mq.eng
 	}
 	return nil
+}
+
+// QueryExport is one live query's snapshot-time state for the durability
+// layer: its name and cumulative Stats (the baseline recovery seeds via
+// Engine.SeedStats so totals stay monotonic across a restart).
+type QueryExport struct {
+	Name  string
+	Stats Stats
+}
+
+// ExportState hands a consistent cut of the serving state — the shared
+// data graph and every live query's QueryExport, in registration order —
+// to fn, all under the engine lock: no batch can commit and no query can
+// register or deregister while fn runs. The snapshot writer serializes
+// from inside fn; the graph pointer must not be retained after fn
+// returns.
+func (m *MultiEngine) ExportState(fn func(g *graph.Graph, queries []QueryExport) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.g == nil {
+		return fmt.Errorf("core: ExportState before Init")
+	}
+	qs := make([]QueryExport, 0, len(m.queries))
+	for _, mq := range m.queries {
+		if mq.eng != nil {
+			qs = append(qs, QueryExport{Name: mq.name, Stats: mq.eng.Stats()})
+		}
+	}
+	return fn(m.g, qs)
 }

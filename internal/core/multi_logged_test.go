@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"paracosm/internal/algo/algotest"
+	"paracosm/internal/graph"
+	"paracosm/internal/stream"
+)
+
+// TestProcessBatchLoggedPersistSeesValidSubsequence checks the
+// write-ahead hook contract: persist observes exactly the validated
+// subsequence (invalid updates filtered out), before any engine applies
+// it, and the applied count matches what persist saw.
+func TestProcessBatchLoggedPersistSeesValidSubsequence(t *testing.T) {
+	g := graph.New(0)
+	for i := 0; i < 4; i++ {
+		g.AddVertex(1)
+	}
+	m := NewMulti()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	batch := stream.Stream{
+		{Op: stream.AddEdge, U: 0, V: 1, ELabel: 2},
+		{Op: stream.AddEdge, U: 0, V: 1, ELabel: 2}, // duplicate: invalid
+		{Op: stream.DeleteEdge, U: 2, V: 3},         // no such edge: invalid
+		{Op: stream.AddEdge, U: 2, V: 3, ELabel: 5},
+	}
+	var logged []string
+	applied, err := m.ProcessBatchLogged(context.Background(), batch, nil, func(s stream.Stream) error {
+		for _, u := range s {
+			logged = append(logged, u.String())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	want := []string{"+e 0 1 2", "+e 2 3 5"}
+	if len(logged) != len(want) || logged[0] != want[0] || logged[1] != want[1] {
+		t.Fatalf("persist saw %v, want %v", logged, want)
+	}
+	// Init clones the caller's graph, so inspect the engine's own copy.
+	if err := m.ExportState(func(eg *graph.Graph, _ []QueryExport) error {
+		if !eg.HasEdge(0, 1) || !eg.HasEdge(2, 3) {
+			t.Fatal("valid updates not applied")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessBatchLoggedPersistErrorRollsBack checks the atomicity half:
+// a persist failure aborts the batch with (0, err) and the shared graph
+// is byte-identical to its pre-batch state.
+func TestProcessBatchLoggedPersistErrorRollsBack(t *testing.T) {
+	g := graph.New(0)
+	for i := 0; i < 3; i++ {
+		g.AddVertex(1)
+	}
+	g.AddEdge(0, 1, 9)
+	m := NewMulti()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	batch := stream.Stream{
+		{Op: stream.AddEdge, U: 1, V: 2, ELabel: 3},
+		{Op: stream.DeleteEdge, U: 0, V: 1},
+	}
+	applied, err := m.ProcessBatchLogged(context.Background(), batch, nil, func(stream.Stream) error {
+		return boom
+	})
+	if applied != 0 || !errors.Is(err, boom) {
+		t.Fatalf("got (%d, %v), want (0, disk full)", applied, err)
+	}
+	if err := m.ExportState(func(eg *graph.Graph, _ []QueryExport) error {
+		if eg.HasEdge(1, 2) || !eg.HasEdge(0, 1) {
+			t.Fatal("failed batch left the graph mutated")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The engine is still serviceable: the same batch goes through once
+	// persist recovers.
+	applied, err = m.ProcessBatchLogged(context.Background(), batch, nil, func(stream.Stream) error { return nil })
+	if err != nil || applied != 2 {
+		t.Fatalf("retry: (%d, %v), want (2, nil)", applied, err)
+	}
+}
+
+// TestProcessBatchLoggedWithQueries runs the hook against live engines:
+// persist must fire before the fan-out, and totals must match an
+// unhooked run of the same stream.
+func TestProcessBatchLoggedWithQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := algotest.RandomGraph(rng, 20, 40, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g, 30, 0.7, 1)
+	f := algotest.Factories()[4] // Symbi
+
+	run := func(persist func(stream.Stream) error) Stats {
+		m := NewMulti(Threads(2))
+		m.Register("q", f.New(), q)
+		if err := m.Init(g.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		for off := 0; off < len(s); off += 7 {
+			end := off + 7
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := m.ProcessBatchLogged(context.Background(), s[off:end], nil, persist); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Stats()["q"]
+	}
+
+	persisted := 0
+	hooked := run(func(s stream.Stream) error { persisted += len(s); return nil })
+	plain := run(nil)
+	if hooked.Updates != plain.Updates || hooked.Positive != plain.Positive || hooked.Negative != plain.Negative {
+		t.Fatalf("hooked stats %+v != plain %+v", hooked, plain)
+	}
+	if persisted == 0 {
+		t.Fatal("persist never saw an update")
+	}
+}
+
+// TestRegisterLiveLoggedPersistErrorUnwinds checks a failed persist
+// leaves no trace: the query is not registered, and the same name can
+// register again once persist succeeds.
+func TestRegisterLiveLoggedPersistErrorUnwinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := algotest.RandomGraph(rng, 15, 30, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	f := algotest.Factories()[4]
+	m := NewMulti()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	boom := errors.New("wal closed")
+	err := m.RegisterLiveLogged("q", f.New(), q, func() error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("RegisterLiveLogged = %v, want wal closed", err)
+	}
+	if m.NumQueries() != 0 {
+		t.Fatalf("NumQueries after failed register = %d, want 0", m.NumQueries())
+	}
+	called := false
+	if err := m.RegisterLiveLogged("q", f.New(), q, func() error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !called || m.NumQueries() != 1 {
+		t.Fatalf("re-register: called=%v, NumQueries=%d", called, m.NumQueries())
+	}
+	// A duplicate name fails before persist runs — nothing must be logged
+	// for a registration that cannot take effect.
+	if err := m.RegisterLiveLogged("q", f.New(), q, func() error {
+		t.Error("persist called for duplicate registration")
+		return nil
+	}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+// TestDeregisterLoggedHook checks the deregistration hook: unknown names
+// log nothing, persist failures keep the query live, success removes it.
+func TestDeregisterLoggedHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := algotest.RandomGraph(rng, 15, 30, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	f := algotest.Factories()[4]
+	m := NewMulti()
+	if err := m.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.RegisterLive("q", f.New(), q); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, err := m.DeregisterLogged("ghost", func() error {
+		t.Error("persist called for unknown query")
+		return nil
+	})
+	if ok || err != nil {
+		t.Fatalf("unknown deregister = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	boom := errors.New("wal closed")
+	ok, err = m.DeregisterLogged("q", func() error { return boom })
+	if ok || !errors.Is(err, boom) {
+		t.Fatalf("failed deregister = (%v, %v), want (false, wal closed)", ok, err)
+	}
+	if m.NumQueries() != 1 {
+		t.Fatal("failed deregister removed the query")
+	}
+
+	ok, err = m.DeregisterLogged("q", func() error { return nil })
+	if !ok || err != nil {
+		t.Fatalf("deregister = (%v, %v), want (true, nil)", ok, err)
+	}
+	if m.NumQueries() != 0 {
+		t.Fatal("query still registered")
+	}
+}
+
+// TestExportStateAndSeedStats checks the snapshot read path and the
+// recovery write path compose: export a cut, seed a fresh engine with
+// the exported baseline, and totals continue from it.
+func TestExportStateAndSeedStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := algotest.RandomGraph(rng, 20, 40, 2, 1)
+	q := algotest.RandomQuery(rng, g, 3)
+	if q == nil {
+		t.Skip("no query")
+	}
+	s := algotest.RandomStream(rng, g, 25, 0.7, 1)
+	f := algotest.Factories()[4]
+
+	m := NewMulti()
+	if err := m.Init(g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterLive("q", f.New(), q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProcessBatch(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+	var exported []QueryExport
+	var slots int
+	if err := m.ExportState(func(eg *graph.Graph, qs []QueryExport) error {
+		slots = eg.NumVertices()
+		exported = append([]QueryExport(nil), qs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if len(exported) != 1 || exported[0].Name != "q" {
+		t.Fatalf("exported %+v", exported)
+	}
+	if exported[0].Stats.Updates == 0 {
+		t.Fatal("exported stats empty")
+	}
+	if slots == 0 {
+		t.Fatal("exported graph empty")
+	}
+
+	// Recovery: a fresh engine seeded with the exported baseline reports
+	// cumulative totals as if it had processed the pre-crash stream.
+	m2 := NewMulti()
+	if err := m2.Init(algotest.RandomGraph(rng, 5, 5, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if err := m2.RegisterLive("q", f.New(), q); err != nil {
+		t.Fatal(err)
+	}
+	m2.Engine("q").SeedStats(exported[0].Stats)
+	got := m2.Stats()["q"]
+	want := exported[0].Stats
+	if got.Updates != want.Updates || got.Positive != want.Positive ||
+		got.Negative != want.Negative || got.Nodes != want.Nodes {
+		t.Fatalf("seeded stats %+v != exported %+v", got, want)
+	}
+
+	ex := NewMulti()
+	if err := ex.ExportState(func(*graph.Graph, []QueryExport) error { return nil }); err == nil {
+		t.Fatal("ExportState before Init accepted")
+	}
+}

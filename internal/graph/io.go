@@ -99,3 +99,99 @@ func Read(r io.Reader) (*Graph, error) {
 	}
 	return g, nil
 }
+
+// WriteState serializes the COMPLETE slot-level state of g, unlike Write
+// which emits only the live subgraph: every vertex slot appears in ID
+// order — deleted slots included, with their retained labels — so
+// ReadState reconstructs a graph whose vertex IDs, dead slots and
+// adjacency are identical to g's. This is the snapshot codec of the
+// durability layer (internal/wal), where ID stability is load-bearing:
+// logged updates reference pre-crash vertex IDs.
+//
+//	pstate <slots> <edges>
+//	l <label>        one per slot, in ID order (alive)
+//	d <label>        one per slot, in ID order (deleted)
+//	e <u> <v> <elabel>  each undirected edge once (u < v)
+func (g *Graph) WriteState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "pstate %d %d\n", len(g.labels), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < len(g.labels); v++ {
+		tag := byte('l')
+		if !g.alive[v] {
+			tag = 'd'
+		}
+		if _, err := fmt.Fprintf(bw, "%c %d\n", tag, g.labels[v]); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < len(g.adj); v++ {
+		for _, n := range g.adj[v] {
+			if VertexID(v) < n.ID {
+				if _, err := fmt.Fprintf(bw, "e %d %d %d\n", v, n.ID, n.ELabel); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadState reconstructs a graph written by WriteState. It consumes
+// exactly the state section from r (header plus the announced slot and
+// edge lines), so it composes inside larger line-oriented formats like
+// the wal snapshot file.
+func ReadState(r *bufio.Reader) (*Graph, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("graph: state header: %w", err)
+	}
+	var slots, edges int
+	if _, err := fmt.Sscanf(line, "pstate %d %d", &slots, &edges); err != nil || slots < 0 || edges < 0 {
+		return nil, fmt.Errorf("graph: bad state header %q", strings.TrimSpace(line))
+	}
+	g := New(slots)
+	for v := 0; v < slots; v++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("graph: state slot %d: %w", v, err)
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 || (f[0] != "l" && f[0] != "d") {
+			return nil, fmt.Errorf("graph: bad state slot line %q", strings.TrimSpace(line))
+		}
+		lab, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad state slot label %q", f[1])
+		}
+		id := g.AddVertex(Label(lab))
+		if f[0] == "d" {
+			// A freshly added vertex is isolated, so the deletion that
+			// reproduces the dead slot is always legal here.
+			g.DeleteVertex(id)
+		}
+	}
+	for i := 0; i < edges; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("graph: state edge %d: %w", i, err)
+		}
+		var u, v, lab uint64
+		if _, err := fmt.Sscanf(line, "e %d %d %d", &u, &v, &lab); err != nil {
+			return nil, fmt.Errorf("graph: bad state edge line %q", strings.TrimSpace(line))
+		}
+		if int(u) >= slots || int(v) >= slots {
+			return nil, fmt.Errorf("graph: state edge (%d,%d) out of range", u, v)
+		}
+		if !g.Alive(VertexID(u)) || !g.Alive(VertexID(v)) {
+			// WriteState never emits one: DeleteVertex requires isolation,
+			// so a dead slot has no incident edges. Corruption, reject.
+			return nil, fmt.Errorf("graph: state edge (%d,%d) touches a deleted slot", u, v)
+		}
+		if !g.AddEdge(VertexID(u), VertexID(v), Label(lab)) {
+			return nil, fmt.Errorf("graph: state edge (%d,%d) rejected (duplicate, self loop or dead endpoint)", u, v)
+		}
+	}
+	return g, nil
+}

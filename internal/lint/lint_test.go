@@ -214,7 +214,7 @@ func TestRepoClean(t *testing.T) {
 	// layer's per-connection goroutines carry `// guarded by` annotations
 	// and join-via-Close spawns; make sure the gate actually sees both
 	// packages rather than silently passing on a load failure.
-	for _, path := range []string{"paracosm/internal/obs", "paracosm/internal/server", "paracosm/internal/concurrent"} {
+	for _, path := range []string{"paracosm/internal/obs", "paracosm/internal/server", "paracosm/internal/concurrent", "paracosm/internal/wal"} {
 		found := false
 		for _, p := range pkgs {
 			if p.Path == path {

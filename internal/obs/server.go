@@ -36,9 +36,24 @@ func Handler(t *Tracer, extra ...MetricsFunc) http.Handler {
 // additional debug routes (e.g. the serving layer's /queries endpoint)
 // before passing it to StartHandler.
 func NewMux(t *Tracer, extra ...MetricsFunc) *http.ServeMux {
+	return NewMuxReady(t, nil, extra...)
+}
+
+// NewMuxReady is NewMux with a readiness gate: while ready is non-nil
+// and returns false, /healthz answers 503 "recovering" — the
+// readiness-vs-liveness split the durability layer needs, since a
+// recovering server is alive (the process responds) but must not be
+// routed traffic until the WAL replay has caught the graph up. A nil
+// ready means always ready (plain liveness).
+func NewMuxReady(t *Tracer, ready func() bool, extra ...MetricsFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "recovering")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {

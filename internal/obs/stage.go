@@ -52,6 +52,12 @@ const (
 	// StageParallelUnsafe is the concurrent execution span of one
 	// multi-update independent group (per group of size > 1).
 	StageParallelUnsafe
+	// StageWALAppend is the write-ahead-log append + durability wait for
+	// one validated batch (per batch, WAL mode only).
+	StageWALAppend
+	// StageSnapshot is one durability snapshot write: log rotation plus
+	// the atomic state-file write (per snapshot, WAL mode only).
+	StageSnapshot
 	numStages
 )
 
@@ -60,6 +66,7 @@ var stageNames = [numStages]string{
 	"ingest_wait", "assemble", "pre_apply", "commit", "post_apply",
 	"fanout", "sub_queue", "wire_write",
 	"coalesce", "conflict_build", "parallel_unsafe",
+	"wal_append", "snapshot",
 }
 
 // String returns the stage's metric-friendly name.

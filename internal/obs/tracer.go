@@ -68,6 +68,8 @@ const (
 	SrvIngest
 	SrvDrop
 	SrvDisconnect
+	SrvSnapshot
+	SrvSnapshotErr
 	numServerOps
 )
 
@@ -76,6 +78,7 @@ const (
 var srvOpRingNames = [numServerOps]string{
 	"srv:accept", "srv:reject", "srv:register", "srv:deregister",
 	"srv:subscribe", "srv:ingest", "srv:drop", "srv:disconnect",
+	"srv:snapshot", "srv:snapshot_err",
 }
 
 // String returns the bare op name (the `op` label on /metrics).

@@ -21,9 +21,13 @@ type Delta struct {
 	Update stream.Update
 	// Pos/Neg are the incremental match counts (|ΔM⁺|, |ΔM⁻|).
 	Pos, Neg uint64
-	// Seq is the per-connection delta sequence number; Dropped is the
-	// cumulative overflow count at enqueue time. Seq is gaps-free — the
-	// server only skips numbers it never sent.
+	// Seq is the query's produced-delta watermark; Dropped is the
+	// cumulative overflow count at enqueue time. Delivered Seqs are
+	// strictly increasing per query, and a gap counts exactly the frames
+	// this subscriber missed — whether to queue overflow or to a
+	// disconnect spanning a server restart (the watermark survives
+	// crashes via the WAL snapshot, so a resubscribing client can resume
+	// its last Seq and detect every undelivered delta).
 	Seq, Dropped uint64
 }
 

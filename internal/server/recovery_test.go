@@ -1,0 +1,379 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"paracosm/internal/obs"
+	"paracosm/internal/stream"
+	"paracosm/internal/wal"
+)
+
+// startWALServer starts a server in WAL mode and blocks until recovery
+// completes (unlike plain Start, which returns mid-replay).
+func startWALServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := startTestServer(t, uniformGraph(0), cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return srv
+}
+
+// streamThrough registers (optionally) and streams s via one client,
+// flushing before return so every update is applied server-side.
+func streamThrough(t *testing.T, srv *Server, register bool, s stream.Stream) {
+	t.Helper()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if register {
+		if err := cl.Register("q", "GraphFlow", singleEdgeQuery(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s) > 0 {
+		if _, err := cl.Send(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRecoveryGracefulRestart checks the snapshot path end to end:
+// a graceful Close writes a final snapshot, and a restart with an EMPTY
+// base graph — proving the snapshot, not the caller's graph, supplies
+// the state — resumes with identical standing queries, stats and Seq
+// watermarks, and keeps matching the sequential oracle on new updates.
+func TestServerRecoveryGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	g := uniformGraph(30)
+	q := singleEdgeQuery(t)
+	full := insertOnlyStream(rng, g, 160, 1)
+	pre, post := full[:100], full[100:]
+	wantPos, wantNeg := oracleTotals(t, g, q, full)
+
+	cfg := Config{WALDir: dir, Fsync: wal.SyncOff, SnapshotEvery: -1}
+
+	srv := startTestServer(t, g, cfg)
+	if err := srv.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register("q", "GraphFlow", q); err != nil {
+		t.Fatal(err)
+	}
+	// A register/deregister pair must also survive the restart — as its
+	// absence.
+	if err := cl.Register("doomed", "Symbi", singleEdgeQuery(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Send(pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Deregister("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	// WAL mode: queries are durable server state, so the disconnect must
+	// NOT drop them.
+	if n := srv.NumQueries(); n != 1 {
+		t.Fatalf("queries after disconnect = %d, want 1", n)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := startWALServer(t, cfg) // empty base graph: the snapshot must win
+	if n := srv2.NumQueries(); n != 1 {
+		t.Fatalf("queries after restart = %d, want 1", n)
+	}
+	// Graceful restart loads the final snapshot; nothing should need
+	// replaying.
+	if n := srv2.walReplayed.Load(); n != 0 {
+		t.Fatalf("replayed %d records after graceful close, want 0", n)
+	}
+
+	// Stream the tail and compare cumulative totals with the full oracle:
+	// recovered graph + stats baseline + new deltas must be exact.
+	cl2, err := Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl2.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.Send(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv2.multi.Stats()["q"]
+	if st.Positive != wantPos || st.Negative != wantNeg {
+		t.Fatalf("recovered totals (+%d,-%d), oracle (+%d,-%d)", st.Positive, st.Negative, wantPos, wantNeg)
+	}
+
+	// Seq watermark continuity: every pre-restart insert produced one
+	// nonzero delta, so the first post-restart delta is len(pre)+1.
+	var first uint64
+	for d := range cl2.Deltas() {
+		first = d.Seq
+		break
+	}
+	if first != uint64(len(pre))+1 {
+		t.Fatalf("first Seq after restart = %d, want %d", first, len(pre)+1)
+	}
+}
+
+// TestServerRecoveryCrashReplay checks the log path: a crash-equivalent
+// shutdown (no final snapshot) loses nothing — restart replays the tail
+// beyond the last periodic snapshot through the live engine paths, and
+// totals equal the uninterrupted sequential oracle.
+func TestServerRecoveryCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(13))
+	g := uniformGraph(40)
+	q := singleEdgeQuery(t)
+	full := insertOnlyStream(rng, g, 200, 1)
+	wantPos, wantNeg := oracleTotals(t, g, q, full)
+
+	crashCfg := Config{WALDir: dir, Fsync: wal.SyncOff, SnapshotEvery: 64, noFinalSnapshot: true}
+	srv := startTestServer(t, g, crashCfg)
+	if err := srv.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register("q", "GraphFlow", q); err != nil {
+		t.Fatal(err)
+	}
+	// Small chunks: the snapshot cadence is checked per ingestion batch, so
+	// one giant batch would snapshot right at the end and leave no tail.
+	for off := 0; off < len(full); off += 10 {
+		end := off + 10
+		if end > len(full) {
+			end = len(full)
+		}
+		if _, err := cl.Send(full[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if n := srv.walSnaps.Load(); n < 2 { // initial + at least one periodic
+		t.Fatalf("periodic snapshots = %d, want >= 2", n)
+	}
+	if err := srv.Close(); err != nil { // crash-equivalent: no final snapshot
+		t.Fatal(err)
+	}
+
+	srv2 := startWALServer(t, Config{WALDir: dir, Fsync: wal.SyncOff, SnapshotEvery: -1})
+	if n := srv2.NumQueries(); n != 1 {
+		t.Fatalf("queries after crash restart = %d, want 1", n)
+	}
+	if n := srv2.walReplayed.Load(); n == 0 {
+		t.Fatal("crash restart replayed nothing; the log tail was lost")
+	}
+	st := srv2.multi.Stats()["q"]
+	if st.Positive != wantPos || st.Negative != wantNeg {
+		t.Fatalf("recovered totals (+%d,-%d), oracle (+%d,-%d)", st.Positive, st.Negative, wantPos, wantNeg)
+	}
+	// The metrics surface must expose the recovery counters.
+	var sb strings.Builder
+	if err := srv2.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"paracosm_wal_records_total", "paracosm_wal_replayed_records_total", "paracosm_wal_snapshots_total", "paracosm_wal_last_lsn"} {
+		if !strings.Contains(sb.String(), series) {
+			t.Errorf("WriteMetrics missing %s", series)
+		}
+	}
+}
+
+// TestServerReconnectSeqGapAcrossRestart is the exactly-once-detection
+// contract: a subscriber that disconnects, misses deltas, crashes the
+// server and resubscribes after restart sees a Seq whose gap from its
+// last delivered Seq counts EXACTLY the missed frames.
+func TestServerReconnectSeqGapAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(17))
+	g := uniformGraph(50)
+	full := insertOnlyStream(rng, g, 90, 1)
+	// Phase A: 40 subscribed deltas. Phase B: 25 missed while disconnected.
+	// Phase C: post-restart, the next delta closes the gap.
+	a, b, c := full[:40], full[40:65], full[65:]
+
+	cfg := Config{WALDir: dir, Fsync: wal.SyncOff, SnapshotEvery: -1, noFinalSnapshot: true}
+	srv := startTestServer(t, g, cfg)
+	if err := srv.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	clA, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clA.Register("q", "GraphFlow", singleEdgeQuery(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := clA.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clA.Send(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := clA.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var lastSeqA uint64
+	drain := func() {
+		for {
+			select {
+			case d := <-clA.Deltas():
+				lastSeqA = d.Seq
+			default:
+				return
+			}
+		}
+	}
+	drain()
+	if lastSeqA != uint64(len(a)) {
+		t.Fatalf("lastSeqA = %d, want %d", lastSeqA, len(a))
+	}
+	clA.Close() // subscriber gone; the query stays (WAL mode)
+
+	// Phase B: deltas produced with no subscriber still advance the
+	// watermark — they are "missed", not "unnumbered".
+	streamThrough(t, srv, false, b)
+	if err := srv.Close(); err != nil { // crash: no final snapshot
+		t.Fatal(err)
+	}
+
+	srv2 := startWALServer(t, cfg)
+	clC, err := Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clC.Close()
+	if err := clC.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clC.Send(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := clC.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d := <-clC.Deltas()
+	if want := uint64(len(a)+len(b)) + 1; d.Seq != want {
+		t.Fatalf("first Seq after reconnect = %d, want %d", d.Seq, want)
+	}
+	if gap := d.Seq - lastSeqA - 1; gap != uint64(len(b)) {
+		t.Fatalf("detected gap = %d missed deltas, want exactly %d", gap, len(b))
+	}
+}
+
+// TestServerHealthzDuringReplay holds replay at the recoverGate seam and
+// probes the readiness split: /healthz must answer 503 "recovering"
+// while the log tail is being applied, 200 "ok" after, and WaitReady
+// must block exactly as long.
+func TestServerHealthzDuringReplay(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(19))
+	g := uniformGraph(30)
+	full := insertOnlyStream(rng, g, 80, 1)
+
+	cfg := Config{WALDir: dir, Fsync: wal.SyncOff, SnapshotEvery: -1, noFinalSnapshot: true}
+	srv := startTestServer(t, g, cfg)
+	if err := srv.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	streamThrough(t, srv, true, full)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	cfg2 := cfg
+	cfg2.recoverGate = gate
+	cfg2.BatchMax = 16 // several gated batches, not one
+	srv2 := startTestServer(t, uniformGraph(0), cfg2)
+	mux := obs.NewMuxReady(nil, srv2.Ready)
+
+	probe := func() int {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec.Code
+	}
+	if srv2.Ready() {
+		t.Fatal("Ready before replay released")
+	}
+	if code := probe(); code != 503 {
+		t.Fatalf("/healthz during replay = %d, want 503", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if err := srv2.WaitReady(ctx); err == nil {
+		t.Fatal("WaitReady returned while replay was gated")
+	}
+	cancel()
+
+	close(gate) // release every batch
+	if err := srv2.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := probe(); code != 200 {
+		t.Fatalf("/healthz after replay = %d, want 200", code)
+	}
+	// Every update plus the registration record replays.
+	if got := srv2.walReplayed.Load(); got != uint64(len(full))+1 {
+		t.Fatalf("replayed %d records, want %d", got, len(full)+1)
+	}
+}
+
+// TestServerWALDeregisterWithoutOwnership: durable queries outlive their
+// registering connection, so any client may deregister them in WAL mode.
+func TestServerWALDeregisterWithoutOwnership(t *testing.T) {
+	cfg := Config{WALDir: t.TempDir(), Fsync: wal.SyncOff, SnapshotEvery: -1}
+	srv := startWALServer(t, cfg)
+	streamThrough(t, srv, true, nil) // registers "q", disconnects
+	if n := srv.NumQueries(); n != 1 {
+		t.Fatalf("queries = %d, want 1", n)
+	}
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Deregister("q"); err != nil {
+		t.Fatalf("non-owner deregister in WAL mode: %v", err)
+	}
+	if n := srv.NumQueries(); n != 0 {
+		t.Fatalf("queries after deregister = %d, want 0", n)
+	}
+	if err := cl.Deregister("q"); err == nil {
+		t.Fatal("deregistering an unknown query succeeded")
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -16,6 +17,7 @@ import (
 	"paracosm/internal/graph"
 	"paracosm/internal/obs"
 	"paracosm/internal/stream"
+	"paracosm/internal/wal"
 )
 
 // Config controls a streaming CSM server.
@@ -72,10 +74,44 @@ type Config struct {
 	// inter-update toggle, ...).
 	Engine []core.Option
 
+	// WALDir, when non-empty, enables the durability layer (internal/wal):
+	// accepted updates and registration changes are written ahead to a
+	// log in this directory, periodic snapshots capture the full serving
+	// state, and Start recovers from the latest snapshot + log tail
+	// instead of serving cfg's graph. The directory is created if needed.
+	WALDir string
+
+	// SnapshotEvery is the snapshot cadence in applied updates (WAL mode
+	// only): after this many updates since the last snapshot, the
+	// ingestion loop writes a new one and truncates the log. 0 defaults
+	// to 65536; negative disables periodic snapshots (one is still
+	// written on graceful Close).
+	SnapshotEvery int
+
+	// Fsync selects the WAL durability policy: group-commit fsync on an
+	// interval (default), fsync before every acknowledgment, or never
+	// (page-cache only — still crash-safe against process death, not
+	// power loss). See wal.SyncPolicy.
+	Fsync wal.SyncPolicy
+
+	// FsyncInterval is the group-commit window under SyncInterval
+	// (default 50ms).
+	FsyncInterval time.Duration
+
 	// ingestGate, when non-nil, is received from before every
 	// ProcessBatch — a test seam that holds the ingestion loop mid-batch
 	// so queue backpressure can be exercised deterministically.
 	ingestGate chan struct{}
+
+	// recoverGate, when non-nil, is received from before every replayed
+	// batch — a test seam that holds recovery mid-replay so the
+	// readiness gate (healthz 503) can be probed deterministically.
+	recoverGate chan struct{}
+
+	// noFinalSnapshot skips the graceful-Close snapshot — a test seam
+	// that makes Close leave crash-equivalent on-disk state (snapshot +
+	// unreplayed log tail) without an actual kill.
+	noFinalSnapshot bool
 }
 
 func (c *Config) normalize() {
@@ -96,6 +132,9 @@ func (c *Config) normalize() {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 65536
 	}
 }
 
@@ -138,10 +177,23 @@ type Server struct {
 
 	ctx    context.Context // cancelled by Close: stops intake, starts drain
 	cancel context.CancelFunc
-	wg     sync.WaitGroup // joins acceptLoop + ingestLoop; Add serialized by Start (both Adds precede serving)
+	wg     sync.WaitGroup // joins acceptLoop + ingestLoop (+ recoverLoop in WAL mode); Add serialized by Start (all Adds precede serving)
 	connWG sync.WaitGroup // joins per-connection readers/writers; Add serialized by mu (Wait only runs once closing bars new Adds)
 
 	ingest chan ingestMsg
+
+	// Durability state (nil/zero without Config.WALDir). All WAL appends
+	// happen under the engine lock — through ProcessBatchLogged's and
+	// RegisterLiveLogged's persist hooks — so the log's record order
+	// equals the apply order by construction, and ExportState (which
+	// holds the same lock) always captures a consistent cut.
+	wal       *wal.Log
+	ready     chan struct{}             // closed once recovery replay completes (immediately without WAL)
+	readyErr  error                     // guarded by mu — replay failure, set before ready closes
+	regs      map[string]wal.RegPayload // guarded by mu — live queries' registration payloads (snapshot source)
+	persistFn func(stream.Stream) error // built once in Start (a per-batch method value would allocate on the hot path)
+	finiOnce  sync.Once
+	sinceSnap int // ingestion-loop only — applied updates since the last snapshot
 
 	mu      sync.Mutex
 	conns   map[*conn]struct{} // guarded by mu
@@ -149,8 +201,24 @@ type Server struct {
 	dying   map[string]int     // guarded by mu — names mid-Deregister; bars new subscriptions
 	closing bool               // guarded by mu
 
+	// produced counts every nonzero delta each query has ever produced,
+	// delivered or not — the per-query Seq watermark. Frames carry
+	// produced[query] at fan-out time, so a subscriber that misses
+	// frames (queue overflow, or a disconnect spanning a restart) sees a
+	// Seq gap exactly equal to the undelivered count. Snapshots persist
+	// it and replayed deltas re-advance it deterministically, which is
+	// what makes the contract hold across crashes.
+	produced map[string]uint64 // guarded by mu
+
 	closeOnce sync.Once
 	closeErr  error // written inside closeOnce, read after wg.Wait
+
+	// WAL-mode counters behind WriteMetrics (zero without a WAL).
+	walReplayed   atomic.Uint64 // log records applied during recovery
+	walReplaySkip atomic.Uint64 // log records skipped during recovery (e.g. duplicate registration)
+	walSnaps      atomic.Uint64 // snapshots written
+	walSnapErrs   atomic.Uint64 // snapshot attempts that failed
+	walSnapLSN    atomic.Uint64 // LSN of the newest snapshot
 
 	// Monotonic counters + instantaneous gauges behind WriteMetrics.
 	connsTotal    atomic.Uint64 // connections accepted
@@ -172,7 +240,6 @@ type conn struct {
 	once   sync.Once
 
 	outMu   sync.Mutex
-	seq     uint64 // guarded by outMu — deltas enqueued to out (per-subscription Seq)
 	dropped uint64 // guarded by outMu — deltas dropped on overflow
 
 	// queries holds the query names registered by this connection;
@@ -189,9 +256,12 @@ func (cn *conn) close() {
 }
 
 // offerDelta enqueues a delta frame without ever blocking: the bounded
-// queue either admits it (consuming the next per-subscription sequence
-// number) or the delta is dropped and counted. Safe for concurrent use
-// by multiple per-query engine goroutines.
+// queue either admits it or the delta is dropped and counted. The
+// frame's Seq is the query's produced-delta watermark, stamped by
+// fanout; a drop therefore surfaces to the subscriber as a Seq gap of
+// exactly the dropped count (plus the Dropped counter carried on the
+// next delivered frame). Safe for concurrent use by multiple per-query
+// engine goroutines.
 func (cn *conn) offerDelta(f *Frame) bool {
 	cn.outMu.Lock()
 	defer cn.outMu.Unlock()
@@ -200,11 +270,9 @@ func (cn *conn) offerDelta(f *Frame) bool {
 		return false
 	default:
 	}
-	f.Seq = cn.seq + 1
 	f.Dropped = cn.dropped
 	select { // drop-counted by dropped
 	case cn.out <- f:
-		cn.seq++
 		return true
 	default:
 		cn.dropped++
@@ -216,6 +284,13 @@ func (cn *conn) offerDelta(f *Frame) bool {
 // Close. The graph is cloned exactly once into the engine's shared data
 // graph — registered queries add index state only, not graph copies —
 // and the caller's g is not retained.
+//
+// With Config.WALDir set, Start instead recovers: the newest valid
+// snapshot (if any) supplies the base graph and standing queries — g is
+// ignored then — and the log tail beyond it is replayed asynchronously
+// before the server accepts connections or ingests updates. Start
+// returns immediately; use Ready/WaitReady (or the /healthz readiness
+// gate) to observe recovery completing or failing.
 func Start(g *graph.Graph, cfg Config) (*Server, error) {
 	cfg.normalize()
 	// Per-query latency histograms are always on in serving mode: they
@@ -226,26 +301,47 @@ func Start(g *graph.Graph, cfg Config) (*Server, error) {
 		engOpts = append(engOpts, core.WithTracer(cfg.Tracer))
 	}
 	s := &Server{
-		cfg:    cfg,
-		multi:  core.NewMulti(engOpts...),
-		tracer: cfg.Tracer,
-		ingest: make(chan ingestMsg, cfg.MaxInflight),
-		conns:  make(map[*conn]struct{}),
-		subs:   make(map[string][]*conn),
-		dying:  make(map[string]int),
+		cfg:      cfg,
+		multi:    core.NewMulti(engOpts...),
+		tracer:   cfg.Tracer,
+		ingest:   make(chan ingestMsg, cfg.MaxInflight),
+		conns:    make(map[*conn]struct{}),
+		subs:     make(map[string][]*conn),
+		dying:    make(map[string]int),
+		produced: make(map[string]uint64),
+		ready:    make(chan struct{}),
 	}
 	s.multi.OnDelta = s.fanout
-	if err := s.multi.Init(g); err != nil {
-		return nil, err
+	replayFrom := uint64(0)
+	if cfg.WALDir != "" {
+		from, err := s.openWAL(g)
+		if err != nil {
+			s.multi.Close()
+			return nil, err
+		}
+		replayFrom = from
+	} else {
+		if err := s.multi.Init(g); err != nil {
+			return nil, err
+		}
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		s.multi.Close()
+		if s.wal != nil {
+			s.wal.Close()
+		}
 		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
 	}
 	s.ln = ln
 	s.ctx, s.cancel = context.WithCancel(context.Background())
-	s.wg.Add(2)
+	if s.wal != nil {
+		s.wg.Add(3)
+		go s.recoverLoop(replayFrom)
+	} else {
+		close(s.ready)
+		s.wg.Add(2)
+	}
 	go s.acceptLoop()
 	go s.ingestLoop()
 	return s, nil
@@ -278,6 +374,25 @@ func (s *Server) Close() error {
 		}
 	})
 	s.wg.Wait()
+	s.finiOnce.Do(func() {
+		if s.wal == nil {
+			return
+		}
+		// All loops are joined: nothing mutates the engine or appends to
+		// the log anymore. A graceful shutdown writes a final snapshot so
+		// the next boot skips replay entirely; a failed server (replay or
+		// persist error) must not — its in-memory state is not a cut the
+		// log agrees with.
+		if s.Err() == nil && !s.cfg.noFinalSnapshot {
+			s.snapshot()
+		}
+		if err := s.wal.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		if err := s.Err(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
 	s.multi.Close()
 	return s.closeErr
 }
@@ -295,6 +410,17 @@ func (s *Server) trace(op obs.ServerOp, n uint64) {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// WAL mode: no connection is served until recovery replay completes
+	// (arrivals queue in the TCP accept backlog meanwhile). A failed
+	// replay never serves — the server is shut down by recoverLoop.
+	select {
+	case <-s.ready:
+		if s.Err() != nil {
+			return
+		}
+	case <-s.ctx.Done():
+		return
+	}
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
@@ -368,10 +494,16 @@ func (s *Server) teardown(cn *conn) {
 		}
 	}
 	s.mu.Unlock()
-	for name := range cn.queries {
-		// Other connections' subscriptions to this query die with it.
-		if s.dropQuery(name) {
-			s.trace(obs.SrvDeregister, 1)
+	if s.wal == nil {
+		// Queries die with their registering connection — except in WAL
+		// mode, where registrations are durable server state that outlives
+		// both the connection and the process (an explicit DEREGISTER
+		// removes them).
+		for name := range cn.queries {
+			// Other connections' subscriptions to this query die with it.
+			if s.dropQuery(name) {
+				s.trace(obs.SrvDeregister, 1)
+			}
 		}
 	}
 	s.trace(obs.SrvDisconnect, 1)
@@ -390,12 +522,32 @@ func (s *Server) dropQuery(name string) bool {
 	delete(s.subs, name)
 	s.dying[name]++
 	s.mu.Unlock()
-	ok := s.multi.Deregister(name)
+	var ok bool
+	var err error
+	if s.wal != nil {
+		ok, err = s.multi.DeregisterLogged(name, func() error {
+			payload, merr := json.Marshal(name)
+			if merr != nil {
+				return merr
+			}
+			_, aerr := s.wal.Append([]wal.Record{{Kind: wal.KindDeregister, Payload: payload}})
+			return aerr
+		})
+	} else {
+		ok = s.multi.Deregister(name)
+	}
 	s.mu.Lock()
 	if s.dying[name]--; s.dying[name] == 0 {
 		delete(s.dying, name)
 	}
+	if ok {
+		delete(s.produced, name)
+		delete(s.regs, name)
+	}
 	s.mu.Unlock()
+	if err != nil {
+		return false
+	}
 	return ok
 }
 
@@ -448,19 +600,41 @@ func (s *Server) handle(cn *conn, f *Frame) bool {
 		if err != nil {
 			return s.replyErr(cn, f.ID, 0, err)
 		}
-		if err := s.multi.RegisterLive(f.Query, entry.New(), q); err != nil {
+		var persist func() error
+		if s.wal != nil {
+			reg := wal.RegPayload{Name: f.Query, Algo: f.Algo, Labels: f.Labels, Edges: f.Edges}
+			persist = func() error {
+				payload, err := json.Marshal(reg)
+				if err != nil {
+					return err
+				}
+				_, aerr := s.wal.Append([]wal.Record{{Kind: wal.KindRegister, Payload: payload}})
+				return aerr
+			}
+		}
+		if err := s.multi.RegisterLiveLogged(f.Query, entry.New(), q, persist); err != nil {
 			return s.replyErr(cn, f.ID, 0, err)
+		}
+		if s.wal != nil {
+			s.mu.Lock()
+			s.regs[f.Query] = wal.RegPayload{Name: f.Query, Algo: f.Algo, Labels: f.Labels, Edges: f.Edges}
+			s.mu.Unlock()
 		}
 		cn.queries[f.Query] = struct{}{}
 		s.trace(obs.SrvRegister, 1)
 		return s.replyOK(cn, f.ID, 0)
 
 	case TypeDeregister:
-		if _, owned := cn.queries[f.Query]; !owned {
+		if _, owned := cn.queries[f.Query]; !owned && s.wal == nil {
+			// WAL mode has no per-connection ownership: queries are durable
+			// server state, deregisterable by any client (they may well have
+			// been registered before the last restart).
 			return s.replyErr(cn, f.ID, 0, fmt.Errorf("query %q not registered by this connection", f.Query))
 		}
 		delete(cn.queries, f.Query)
-		s.dropQuery(f.Query)
+		if !s.dropQuery(f.Query) {
+			return s.replyErr(cn, f.ID, 0, fmt.Errorf("unknown query %q", f.Query))
+		}
 		s.trace(obs.SrvDeregister, 1)
 		return s.replyOK(cn, f.ID, 0)
 
@@ -572,6 +746,15 @@ func (s *Server) enqueue(cn *conn, upds stream.Stream) (int, error) {
 // already made it into the queue before exiting (drain-then-close).
 func (s *Server) ingestLoop() {
 	defer s.wg.Done()
+	// WAL mode: recovery replay owns the engine until ready closes (no
+	// connection exists yet to feed the queue, but the wait makes the
+	// ownership handoff explicit and covers test seams).
+	select {
+	case <-s.ready:
+	case <-s.ctx.Done():
+		s.connWG.Wait()
+		return
+	}
 	batch := pendingBatch{upds: make(stream.Stream, 0, s.cfg.BatchMax)}
 	for {
 		select {
@@ -616,6 +799,11 @@ func (s *Server) ingestLoop() {
 func (s *Server) gather(batch *pendingBatch, m ingestMsg) {
 	if m.done != nil {
 		s.flushBatch(batch)
+		if s.wal != nil && s.cfg.Fsync == wal.SyncInterval {
+			// A flush barrier is the client's durability point: force the
+			// group-commit fsync now instead of waiting out the interval.
+			_ = s.wal.Sync()
+		}
 		close(m.done)
 		return
 	}
@@ -648,11 +836,28 @@ func (s *Server) flushBatch(batch *pendingBatch) {
 		batch.bt.Flushed = time.Now()
 		bt = &batch.bt
 	}
-	applied, _ := s.multi.ProcessBatchTimed(context.Background(), batch.upds, bt)
+	applied, err := s.multi.ProcessBatchLogged(context.Background(), batch.upds, bt, s.persistFn)
+	if err != nil && applied == 0 && s.wal != nil {
+		// A persist failure rolled the whole batch back (nothing applied,
+		// nothing fanned out): the log can no longer honor write-ahead, so
+		// stop the server rather than continue accepting updates that
+		// would be lost on restart.
+		s.trace(obs.SrvIngest, 0)
+		s.setErr(err)
+		s.cancel()
+		batch.reset()
+		return
+	}
 	s.ingested.Add(uint64(applied))
 	s.invalid.Add(uint64(len(batch.upds) - applied))
 	s.trace(obs.SrvIngest, uint64(applied))
 	batch.reset()
+	if s.wal != nil && s.cfg.SnapshotEvery > 0 {
+		if s.sinceSnap += applied; s.sinceSnap >= s.cfg.SnapshotEvery {
+			s.sinceSnap = 0
+			s.snapshot()
+		}
+	}
 }
 
 // fanout is the MultiEngine.OnDelta sink: every nonzero ΔM becomes one
@@ -671,8 +876,13 @@ func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bo
 	}
 	// Snapshot the subscriber list under the lock: teardown compacts the
 	// backing array in place and subscribe appends into its spare
-	// capacity, so iterating the bare slice header unlocked races.
+	// capacity, so iterating the bare slice header unlocked races. The
+	// query's Seq watermark advances under the same lock — for every
+	// nonzero delta, subscribers or not — so it is a deterministic
+	// function of the processed stream and survives crash replay intact.
 	s.mu.Lock()
+	s.produced[qname]++
+	seq := s.produced[qname]
 	subs := append([]*conn(nil), s.subs[qname]...)
 	s.mu.Unlock()
 	for _, cn := range subs {
@@ -682,6 +892,7 @@ func (s *Server) fanout(qname string, upd stream.Update, d csm.Delta, timeout bo
 			Update: upd.String(),
 			Pos:    d.Positive,
 			Neg:    d.Negative,
+			Seq:    seq,
 		}
 		if traced {
 			// The writer goroutine measures this frame's queue dwell and
@@ -828,6 +1039,31 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			sr.name, sr.help, sr.name, sr.typ, sr.name, sr.v); err != nil {
 			return err
+		}
+	}
+	if s.wal != nil {
+		wm := s.wal.Metrics()
+		walSeries := []struct {
+			name, typ, help string
+			v               uint64
+		}{
+			{"paracosm_wal_records_total", "counter", "Records appended to the write-ahead log since start.", wm.Records},
+			{"paracosm_wal_bytes_total", "counter", "Encoded bytes appended to the write-ahead log since start.", wm.Bytes},
+			{"paracosm_wal_flushes_total", "counter", "Group-commit write(2) calls by the WAL flusher.", wm.Flushes},
+			{"paracosm_wal_fsyncs_total", "counter", "fsync calls issued by the WAL.", wm.Fsyncs},
+			{"paracosm_wal_last_lsn", "gauge", "Highest assigned log sequence number.", wm.LastLSN},
+			{"paracosm_wal_segments", "gauge", "Live WAL segment files.", uint64(wm.Segments)},
+			{"paracosm_wal_replayed_records_total", "counter", "Log records applied during recovery replay.", s.walReplayed.Load()},
+			{"paracosm_wal_replay_skipped_total", "counter", "Log records skipped during recovery replay.", s.walReplaySkip.Load()},
+			{"paracosm_wal_snapshots_total", "counter", "Durability snapshots written since start.", s.walSnaps.Load()},
+			{"paracosm_wal_snapshot_errors_total", "counter", "Snapshot attempts that failed.", s.walSnapErrs.Load()},
+			{"paracosm_wal_snapshot_last_lsn", "gauge", "LSN of the newest snapshot written this run.", s.walSnapLSN.Load()},
+		}
+		for _, sr := range walSeries {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+				sr.name, sr.help, sr.name, sr.typ, sr.name, sr.v); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -775,28 +775,36 @@ func TestServerGracefulShutdown(t *testing.T) {
 }
 
 // TestOfferDeltaDropAndCount pins the bounded-queue contract at the unit
-// level: capacity admits with gaps-free sequence numbers, overflow drops
-// and counts, a closed connection neither admits nor counts.
+// level: capacity admits frames carrying the Seq fanout stamped on them,
+// overflow drops and counts (so the subscriber sees the drop as a Seq
+// gap), a closed connection neither admits nor counts.
 func TestOfferDeltaDropAndCount(t *testing.T) {
 	cn := &conn{out: make(chan *Frame, 2), closed: make(chan struct{})}
-	for i := 0; i < 5; i++ {
-		cn.offerDelta(&Frame{Type: TypeDelta})
+	for i := 1; i <= 5; i++ {
+		// fanout stamps the query's produced-delta watermark before
+		// offering; the watermark advances whether or not the offer lands.
+		cn.offerDelta(&Frame{Type: TypeDelta, Seq: uint64(i)})
 	}
-	if cn.seq != 2 || cn.dropped != 3 {
-		t.Fatalf("seq %d dropped %d, want 2 and 3", cn.seq, cn.dropped)
+	if cn.dropped != 3 {
+		t.Fatalf("dropped %d, want 3", cn.dropped)
 	}
 	f1 := <-cn.out
 	f2 := <-cn.out
 	if f1.Seq != 1 || f2.Seq != 2 {
 		t.Fatalf("admitted seqs %d,%d", f1.Seq, f2.Seq)
 	}
-	ok := cn.offerDelta(&Frame{Type: TypeDelta})
+	ok := cn.offerDelta(&Frame{Type: TypeDelta, Seq: 6})
 	f3 := <-cn.out
-	if !ok || f3.Seq != 3 || f3.Dropped != 3 {
+	if !ok || f3.Seq != 6 || f3.Dropped != 3 {
 		t.Fatalf("post-drain frame: ok=%v seq=%d dropped=%d", ok, f3.Seq, f3.Dropped)
 	}
+	// Seqs 3-5 never arrived: the gap between delivered frames (2 → 6) is
+	// exactly the drop count the next frame carries.
+	if gap := f3.Seq - f2.Seq - 1; gap != f3.Dropped {
+		t.Fatalf("seq gap %d != dropped %d", gap, f3.Dropped)
+	}
 	close(cn.closed)
-	if cn.offerDelta(&Frame{Type: TypeDelta}) {
+	if cn.offerDelta(&Frame{Type: TypeDelta, Seq: 7}) {
 		t.Fatal("offer succeeded on closed connection")
 	}
 	if cn.dropped != 3 {

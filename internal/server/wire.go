@@ -82,9 +82,14 @@ type Frame struct {
 	// Pos/Neg are the incremental match counts of a delta.
 	Pos uint64 `json:"pos,omitempty"`
 	Neg uint64 `json:"neg,omitempty"`
-	// Seq is the per-subscription delta sequence number (1-based,
-	// gaps-free per connection — a gap means the server dropped frames,
-	// see Dropped).
+	// Seq is the query's produced-delta watermark (1-based): the count of
+	// nonzero deltas the query has produced since it was registered,
+	// delivered anywhere or not. Within one subscription the delivered
+	// Seqs are strictly increasing, and a gap is exactly the number of
+	// frames this subscriber missed — to queue overflow (see Dropped) or,
+	// on a durable server, to a disconnect spanning a restart: the
+	// watermark is persisted in snapshots and re-derived by log replay,
+	// so it never regresses across a crash.
 	Seq uint64 `json:"seq,omitempty"`
 	// Dropped is the cumulative count of deltas this subscriber's queue
 	// overflowed (drop-and-count, the obs.Ring convention).
@@ -221,14 +226,15 @@ func EncodeUpdates(s stream.Stream) []string {
 func DecodeUpdates(lines []string) (stream.Stream, error) {
 	out := make(stream.Stream, 0, len(lines))
 	for i, ln := range lines {
-		s, err := stream.Read(strings.NewReader(ln))
+		trimmed := strings.TrimSpace(ln)
+		if trimmed == "" || trimmed != ln || strings.ContainsRune(ln, '\n') {
+			return nil, fmt.Errorf("update %d: %q is not exactly one update", i, ln)
+		}
+		u, err := stream.ParseUpdate(ln)
 		if err != nil {
 			return nil, fmt.Errorf("update %d: %w", i, err)
 		}
-		if len(s) != 1 {
-			return nil, fmt.Errorf("update %d: %q is not exactly one update", i, ln)
-		}
-		out = append(out, s[0])
+		out = append(out, u)
 	}
 	return out, nil
 }

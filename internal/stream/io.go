@@ -28,6 +28,51 @@ func (s Stream) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ParseUpdate parses one update line (no surrounding whitespace, no
+// comment handling — callers that read framed single-update records,
+// like the wire decoder and the WAL replayer, hand over exact lines).
+func ParseUpdate(line string) (Update, error) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return Update{}, fmt.Errorf("stream: empty update")
+	}
+	parse := func(i int) (uint64, error) {
+		if i >= len(f) {
+			return 0, fmt.Errorf("missing field %d in %q", i, line)
+		}
+		return strconv.ParseUint(f[i], 10, 32)
+	}
+	var u Update
+	var err error
+	var a, b, c uint64
+	switch f[0] {
+	case "+e":
+		if a, err = parse(1); err == nil {
+			if b, err = parse(2); err == nil {
+				c, err = parse(3)
+			}
+		}
+		u = Update{Op: AddEdge, U: graph.VertexID(a), V: graph.VertexID(b), ELabel: graph.Label(c)}
+	case "-e":
+		if a, err = parse(1); err == nil {
+			b, err = parse(2)
+		}
+		u = Update{Op: DeleteEdge, U: graph.VertexID(a), V: graph.VertexID(b)}
+	case "+v":
+		a, err = parse(1)
+		u = Update{Op: AddVertex, VLabel: graph.Label(a)}
+	case "-v":
+		a, err = parse(1)
+		u = Update{Op: DeleteVertex, U: graph.VertexID(a)}
+	default:
+		return Update{}, fmt.Errorf("stream: unknown op %q", f[0])
+	}
+	if err != nil {
+		return Update{}, fmt.Errorf("stream: %v", err)
+	}
+	return u, nil
+}
+
 // Read parses a stream in the line format produced by Write. Lines starting
 // with '#' or '%' are comments.
 func Read(r io.Reader) (Stream, error) {
@@ -41,40 +86,9 @@ func Read(r io.Reader) (Stream, error) {
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
 		}
-		f := strings.Fields(line)
-		parse := func(i int) (uint64, error) {
-			if i >= len(f) {
-				return 0, fmt.Errorf("stream: line %d: missing field %d in %q", lineNo, i, line)
-			}
-			return strconv.ParseUint(f[i], 10, 32)
-		}
-		var u Update
-		var err error
-		var a, b, c uint64
-		switch f[0] {
-		case "+e":
-			if a, err = parse(1); err == nil {
-				if b, err = parse(2); err == nil {
-					c, err = parse(3)
-				}
-			}
-			u = Update{Op: AddEdge, U: graph.VertexID(a), V: graph.VertexID(b), ELabel: graph.Label(c)}
-		case "-e":
-			if a, err = parse(1); err == nil {
-				b, err = parse(2)
-			}
-			u = Update{Op: DeleteEdge, U: graph.VertexID(a), V: graph.VertexID(b)}
-		case "+v":
-			a, err = parse(1)
-			u = Update{Op: AddVertex, VLabel: graph.Label(a)}
-		case "-v":
-			a, err = parse(1)
-			u = Update{Op: DeleteVertex, U: graph.VertexID(a)}
-		default:
-			return nil, fmt.Errorf("stream: line %d: unknown op %q", lineNo, f[0])
-		}
+		u, err := ParseUpdate(line)
 		if err != nil {
-			return nil, fmt.Errorf("stream: line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("stream: line %d: %v", lineNo, strings.TrimPrefix(err.Error(), "stream: "))
 		}
 		s = append(s, u)
 	}

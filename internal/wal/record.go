@@ -1,0 +1,188 @@
+// Package wal is the durability layer of the serving stack (DESIGN.md
+// §16): a write-ahead log of accepted updates and registration changes,
+// periodic snapshots of the shared graph + standing queries, and the
+// recovery scan that replays the log tail after a crash.
+//
+// The log is a sequence of framed text records, one per line:
+//
+//	<lsn> <crc32-hex8> <kind> <len> <payload>\n
+//
+// where lsn is the monotone log sequence number (records in one
+// directory are numbered 1,2,3,... with no gaps), the CRC32 (IEEE)
+// covers "<lsn> <kind> <payload>", kind is a single byte ('u' update,
+// 'r' register, 'd' deregister), and len is the payload byte length.
+// Update payloads reuse the internal/stream text codec ("+e u v l",
+// "-e u v", ...), so a WAL's update records are directly replayable
+// through the batch CLI; register/deregister payloads are one-line JSON.
+// Payloads must not contain newlines — the frame boundary is the line
+// boundary, which is what makes a torn final record (a crash mid-write)
+// detectable and truncatable without a length-prefixed binary format.
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// Kind discriminates the record types in the log.
+type Kind byte
+
+const (
+	// KindUpdate is one accepted graph update (stream text codec).
+	KindUpdate Kind = 'u'
+	// KindRegister is one standing-query registration (JSON RegPayload).
+	KindRegister Kind = 'r'
+	// KindDeregister drops a standing query (JSON-encoded name string).
+	KindDeregister Kind = 'd'
+)
+
+func (k Kind) valid() bool {
+	return k == KindUpdate || k == KindRegister || k == KindDeregister
+}
+
+// Record is one framed log entry. LSN is assigned by Log.Append; the
+// payload's interpretation depends on Kind.
+type Record struct {
+	LSN     uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// errTorn marks an incomplete record at the end of a buffer: the frame
+// has no terminating newline, i.e. the process died mid-write. Recovery
+// truncates the file at the last complete record and continues.
+var errTorn = errors.New("wal: torn record")
+
+// crcRecord computes the record checksum: CRC32 (IEEE) over the decimal
+// LSN, the kind byte and the payload, space-separated — everything the
+// frame carries except the length field (implied by the payload) and the
+// checksum itself.
+func crcRecord(lsn uint64, kind Kind, payload []byte) uint32 {
+	var hdr [24]byte
+	h := strconv.AppendUint(hdr[:0], lsn, 10)
+	h = append(h, ' ', byte(kind), ' ')
+	crc := crc32.Update(0, crc32.IEEETable, h)
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// appendRecord encodes r onto buf and returns the extended buffer. The
+// payload must not contain a newline (see the package comment); Append
+// validates that before encoding, so this low-level helper assumes it.
+func appendRecord(buf []byte, r Record) []byte {
+	buf = strconv.AppendUint(buf, r.LSN, 10)
+	buf = append(buf, ' ')
+	crc := crcRecord(r.LSN, r.Kind, r.Payload)
+	buf = appendHex8(buf, crc)
+	buf = append(buf, ' ', byte(r.Kind), ' ')
+	buf = strconv.AppendUint(buf, uint64(len(r.Payload)), 10)
+	buf = append(buf, ' ')
+	buf = append(buf, r.Payload...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendHex8 appends crc as exactly eight lowercase hex digits.
+func appendHex8(buf []byte, crc uint32) []byte {
+	const hexdigits = "0123456789abcdef"
+	for shift := 28; shift >= 0; shift -= 4 {
+		buf = append(buf, hexdigits[(crc>>uint(shift))&0xf])
+	}
+	return buf
+}
+
+// decodeOne parses the first record in buf, returning it and the bytes
+// consumed. It returns errTorn when buf holds no complete line (the
+// torn-tail case) and a descriptive error for a structurally broken or
+// checksum-failing frame. The payload aliases buf.
+func decodeOne(buf []byte) (Record, int, error) {
+	nl := bytes.IndexByte(buf, '\n')
+	if nl < 0 {
+		return Record{}, 0, errTorn
+	}
+	line := buf[:nl]
+	// Header fields are positional: lsn, crc, kind, len, then the payload
+	// (which may itself contain spaces).
+	f1 := bytes.IndexByte(line, ' ')
+	if f1 < 0 {
+		return Record{}, 0, fmt.Errorf("wal: record missing crc field")
+	}
+	rest := line[f1+1:]
+	f2 := bytes.IndexByte(rest, ' ')
+	if f2 < 0 {
+		return Record{}, 0, fmt.Errorf("wal: record missing kind field")
+	}
+	rest2 := rest[f2+1:]
+	f3 := bytes.IndexByte(rest2, ' ')
+	if f3 < 0 {
+		return Record{}, 0, fmt.Errorf("wal: record missing length field")
+	}
+	rest3 := rest2[f3+1:]
+	f4 := bytes.IndexByte(rest3, ' ')
+	if f4 < 0 {
+		return Record{}, 0, fmt.Errorf("wal: record missing payload separator")
+	}
+	lsn, err := strconv.ParseUint(string(line[:f1]), 10, 64)
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("wal: bad record lsn %q", line[:f1])
+	}
+	crcWant, err := strconv.ParseUint(string(rest[:f2]), 16, 32)
+	if err != nil || f2 != 8 {
+		return Record{}, 0, fmt.Errorf("wal: bad record crc %q", rest[:f2])
+	}
+	if f3 != 1 || !Kind(rest2[0]).valid() {
+		return Record{}, 0, fmt.Errorf("wal: bad record kind %q", rest2[:f3])
+	}
+	kind := Kind(rest2[0])
+	plen, err := strconv.ParseUint(string(rest3[:f4]), 10, 31)
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("wal: bad record length %q", rest3[:f4])
+	}
+	payload := rest3[f4+1:]
+	if uint64(len(payload)) != plen {
+		return Record{}, 0, fmt.Errorf("wal: record lsn %d: payload is %d bytes, header says %d", lsn, len(payload), plen)
+	}
+	if got := crcRecord(lsn, kind, payload); uint32(crcWant) != got {
+		return Record{}, 0, fmt.Errorf("wal: record lsn %d: crc mismatch (want %08x, got %08x)", lsn, crcWant, got)
+	}
+	return Record{LSN: lsn, Kind: kind, Payload: payload}, nl + 1, nil
+}
+
+// scanRecords walks buf record by record, calling fn for each valid one,
+// and returns the byte length of the longest valid prefix plus the last
+// LSN seen. expect is the LSN the first record must carry (0 accepts
+// any); each subsequent record must be exactly previous+1 — a jump means
+// lost bytes, which is treated like corruption: the scan stops at the
+// last contiguous record. A torn or corrupt frame ends the scan without
+// error (the tail error is returned separately so callers can
+// distinguish clean EOF from truncation).
+func scanRecords(buf []byte, expect uint64, fn func(Record) error) (validLen int, last uint64, tailErr error, err error) {
+	off := 0
+	last = expect - 1
+	if expect == 0 {
+		last = 0
+	}
+	for off < len(buf) {
+		rec, n, derr := decodeOne(buf[off:])
+		if derr != nil {
+			return off, last, derr, nil
+		}
+		if expect == 0 {
+			expect = rec.LSN
+			last = rec.LSN - 1
+		}
+		if rec.LSN != last+1 {
+			return off, last, fmt.Errorf("wal: record lsn %d out of sequence (want %d)", rec.LSN, last+1), nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, last, nil, err
+			}
+		}
+		last = rec.LSN
+		off += n
+	}
+	return off, last, nil, nil
+}

@@ -1,0 +1,299 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"paracosm/internal/graph"
+)
+
+// A snapshot captures the serving state at one log position: the shared
+// data graph (exact slot state, deleted vertices included), every
+// standing query's registration payload, its per-query produced-delta
+// watermark (the durable Seq resume point) and its cumulative stats
+// baseline. Text format, one section per line group:
+//
+//	pcsnap v1
+//	lsn <snapLSN>
+//	graph
+//	<graph.WriteState body>
+//	queries <n>
+//	<n one-line JSON QueryState rows>
+//	end <crc32-hex8 of every byte above>
+//
+// The trailing CRC line is what makes a snapshot *valid*: a crash while
+// writing leaves a file without it (or with a mismatching digest), and
+// recovery falls back to the previous snapshot. Written atomically:
+// temp file in the same directory, fsync, rename, directory fsync.
+
+// RegPayload is the registration record payload (KindRegister) and the
+// registration half of a QueryState: everything needed to rebuild the
+// query server-side without the original client.
+type RegPayload struct {
+	Name   string      `json:"name"`
+	Algo   string      `json:"algo"`
+	Labels []uint32    `json:"labels"`
+	Edges  [][3]uint32 `json:"edges"`
+}
+
+// QueryState is one standing query's snapshot row: its registration,
+// the produced-delta watermark Seq resumes from, and the stats baseline
+// recovery seeds so /queries totals stay monotonic across a restart.
+type QueryState struct {
+	RegPayload
+	Produced uint64 `json:"produced"`
+
+	Updates     int    `json:"updates"`
+	Safe        int    `json:"safe"`
+	Unsafe      int    `json:"unsafe"`
+	Escalations int    `json:"escalations"`
+	Positive    uint64 `json:"positive"`
+	Negative    uint64 `json:"negative"`
+	Nodes       uint64 `json:"nodes"`
+}
+
+// Snapshot is a loaded snapshot: the state to rebuild before replaying
+// records with LSN > LSN.
+type Snapshot struct {
+	LSN     uint64
+	Graph   *graph.Graph
+	Queries []QueryState
+}
+
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("%020d%s", lsn, snapSuffix)
+}
+
+// crcWriter tees writes into a running CRC32 so the snapshot digest is
+// computed in one pass with the serialization.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// WriteSnapshot atomically writes a snapshot at lsn into dir and returns
+// its path. The caller guarantees g and queries are a consistent cut at
+// lsn (no record ≤ lsn unapplied, none > lsn applied).
+func WriteSnapshot(dir string, lsn uint64, g *graph.Graph, queries []QueryState) (string, error) {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	cw := &crcWriter{w: bufio.NewWriter(tmp)}
+	werr := func() error {
+		if _, err := fmt.Fprintf(cw, "pcsnap v1\nlsn %d\ngraph\n", lsn); err != nil {
+			return err
+		}
+		if err := g.WriteState(cw); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(cw, "queries %d\n", len(queries)); err != nil {
+			return err
+		}
+		for _, q := range queries {
+			row, err := json.Marshal(q)
+			if err != nil {
+				return err
+			}
+			if _, err := cw.Write(append(row, '\n')); err != nil {
+				return err
+			}
+		}
+		// The end line authenticates everything above it (it is excluded
+		// from its own digest).
+		if _, err := fmt.Fprintf(cw.w, "end %08x\n", cw.crc); err != nil {
+			return err
+		}
+		if err := cw.w.Flush(); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", werr)
+	}
+	path := filepath.Join(dir, snapName(lsn))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot loads the newest valid snapshot in dir, or (nil, nil)
+// when none exists. Invalid snapshots (torn write, digest mismatch) are
+// skipped in favor of older valid ones — the crash-between-write-and-
+// rename window never loses recoverability, only freshness that the log
+// replay restores anyway.
+func LoadSnapshot(dir string) (*Snapshot, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var lsns []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(name, snapSuffix), 10, 64)
+		if err != nil {
+			continue // stray file; not ours
+		}
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	var firstErr error
+	for _, lsn := range lsns {
+		s, err := readSnapshot(filepath.Join(dir, snapName(lsn)))
+		if err == nil {
+			return s, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(lsns) > 0 {
+		return nil, fmt.Errorf("wal: no valid snapshot among %d candidates: %w", len(lsns), firstErr)
+	}
+	return nil, nil
+}
+
+// RemoveSnapshotsBefore deletes snapshots older than lsn (the newest one
+// is always kept); called after a new snapshot lands.
+func RemoveSnapshotsBefore(dir string, lsn uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		old, err := strconv.ParseUint(strings.TrimSuffix(name, snapSuffix), 10, 64)
+		if err != nil || old >= lsn {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// Validate the trailing end line first: everything before it must
+	// digest to the recorded CRC.
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("wal: snapshot %s: truncated", filepath.Base(path))
+	}
+	body := data[:len(data)-1]
+	nl := bytes.LastIndexByte(body, '\n')
+	endLine := string(body[nl+1:])
+	body = data[:nl+1] // includes the newline ending the authenticated region
+	want, ok := strings.CutPrefix(endLine, "end ")
+	if !ok {
+		return nil, fmt.Errorf("wal: snapshot %s: missing end marker", filepath.Base(path))
+	}
+	crcWant, err := strconv.ParseUint(want, 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: bad end digest %q", filepath.Base(path), want)
+	}
+	if got := crc32.ChecksumIEEE(body); uint32(crcWant) != got {
+		return nil, fmt.Errorf("wal: snapshot %s: digest mismatch", filepath.Base(path))
+	}
+	r := bufio.NewReader(bytes.NewReader(body))
+	line := func() (string, error) {
+		s, err := r.ReadString('\n')
+		return strings.TrimSuffix(s, "\n"), err
+	}
+	hdr, err := line()
+	if err != nil || hdr != "pcsnap v1" {
+		return nil, fmt.Errorf("wal: snapshot %s: bad header %q", filepath.Base(path), hdr)
+	}
+	lsnLine, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	lsnStr, ok := strings.CutPrefix(lsnLine, "lsn ")
+	if !ok {
+		return nil, fmt.Errorf("wal: snapshot %s: missing lsn line", filepath.Base(path))
+	}
+	lsn, err := strconv.ParseUint(lsnStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: bad lsn %q", filepath.Base(path), lsnStr)
+	}
+	if g, err := line(); err != nil || g != "graph" {
+		return nil, fmt.Errorf("wal: snapshot %s: missing graph section", filepath.Base(path))
+	}
+	g, err := graph.ReadState(r)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	qLine, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	nStr, ok := strings.CutPrefix(qLine, "queries ")
+	if !ok {
+		return nil, fmt.Errorf("wal: snapshot %s: missing queries section", filepath.Base(path))
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("wal: snapshot %s: bad query count %q", filepath.Base(path), nStr)
+	}
+	queries := make([]QueryState, 0, n)
+	for i := 0; i < n; i++ {
+		row, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("wal: snapshot %s: query row %d: %w", filepath.Base(path), i, err)
+		}
+		var q QueryState
+		if err := json.Unmarshal([]byte(row), &q); err != nil {
+			return nil, fmt.Errorf("wal: snapshot %s: query row %d: %w", filepath.Base(path), i, err)
+		}
+		queries = append(queries, q)
+	}
+	return &Snapshot{LSN: lsn, Graph: g, Queries: queries}, nil
+}

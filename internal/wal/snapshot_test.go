@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paracosm/internal/graph"
+)
+
+// testGraph builds a small graph with a deleted vertex, so the snapshot
+// codec must preserve exact slot state, not just live topology.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(0)
+	for i := 0; i < 5; i++ {
+		g.AddVertex(graph.Label(i % 3))
+	}
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(1, 2, 8)
+	g.AddEdge(3, 4, 9)
+	g.RemoveEdge(1, 2)
+	g.DeleteVertex(2)
+	return g
+}
+
+func sameGraph(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("graph shape: got |V|=%d |E|=%d, want |V|=%d |E|=%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		if got.Label(graph.VertexID(v)) != want.Label(graph.VertexID(v)) {
+			t.Fatalf("vertex %d label: got %d, want %d", v, got.Label(graph.VertexID(v)), want.Label(graph.VertexID(v)))
+		}
+	}
+	for u := 0; u < want.NumVertices(); u++ {
+		for v := u + 1; v < want.NumVertices(); v++ {
+			if got.HasEdge(graph.VertexID(u), graph.VertexID(v)) != want.HasEdge(graph.VertexID(u), graph.VertexID(v)) {
+				t.Fatalf("edge (%d,%d) presence differs", u, v)
+			}
+		}
+	}
+}
+
+func testQueries() []QueryState {
+	return []QueryState{
+		{
+			RegPayload: RegPayload{Name: "q1", Algo: "Symbi", Labels: []uint32{0, 1}, Edges: [][3]uint32{{0, 1, 7}}},
+			Produced:   42, Updates: 100, Safe: 90, Unsafe: 10, Escalations: 2, Positive: 33, Negative: 9, Nodes: 1234,
+		},
+		{
+			RegPayload: RegPayload{Name: "q2", Algo: "GraphFlow", Labels: []uint32{2}, Edges: nil},
+			Produced:   0,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	qs := testQueries()
+	path, err := WriteSnapshot(dir, 17, g, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != snapName(17) {
+		t.Fatalf("snapshot path %q", path)
+	}
+	s, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.LSN != 17 {
+		t.Fatalf("loaded %+v, want lsn 17", s)
+	}
+	sameGraph(t, s.Graph, g)
+	if len(s.Queries) != 2 {
+		t.Fatalf("loaded %d queries, want 2", len(s.Queries))
+	}
+	q := s.Queries[0]
+	if q.Name != "q1" || q.Algo != "Symbi" || q.Produced != 42 || q.Updates != 100 ||
+		q.Safe != 90 || q.Unsafe != 10 || q.Escalations != 2 ||
+		q.Positive != 33 || q.Negative != 9 || q.Nodes != 1234 {
+		t.Fatalf("query row 0 = %+v", q)
+	}
+	if len(q.Labels) != 2 || len(q.Edges) != 1 || q.Edges[0] != [3]uint32{0, 1, 7} {
+		t.Fatalf("query row 0 payload = %+v", q.RegPayload)
+	}
+}
+
+func TestSnapshotEmptyDir(t *testing.T) {
+	s, err := LoadSnapshot(filepath.Join(t.TempDir(), "missing"))
+	if err != nil || s != nil {
+		t.Fatalf("LoadSnapshot on missing dir = %+v, %v; want nil, nil", s, err)
+	}
+}
+
+func TestSnapshotCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	if _, err := WriteSnapshot(dir, 10, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	newer, err := WriteSnapshot(dir, 20, g, testQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newer snapshot: flip one byte in the middle. Loading must
+	// fall back to the older valid one.
+	buf, err := os.ReadFile(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x01
+	if err := os.WriteFile(newer, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.LSN != 10 {
+		t.Fatalf("fallback loaded %+v, want lsn 10", s)
+	}
+
+	// A torn newest snapshot (no end line at all) also falls back.
+	if err := os.WriteFile(filepath.Join(dir, snapName(30)), buf[:len(buf)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = LoadSnapshot(dir)
+	if err != nil || s == nil || s.LSN != 10 {
+		t.Fatalf("torn fallback loaded %+v, %v; want lsn 10", s, err)
+	}
+}
+
+func TestSnapshotAllCorruptErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapName(5)), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(dir); err == nil || !strings.Contains(err.Error(), "no valid snapshot") {
+		t.Fatalf("LoadSnapshot = %v, want no-valid-snapshot error", err)
+	}
+}
+
+func TestRemoveSnapshotsBefore(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New(0)
+	for _, lsn := range []uint64{5, 10, 15} {
+		if _, err := WriteSnapshot(dir, lsn, g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := RemoveSnapshotsBefore(dir, 15); err != nil {
+		t.Fatal(err)
+	}
+	for _, lsn := range []uint64{5, 10} {
+		if _, err := os.Stat(filepath.Join(dir, snapName(lsn))); !os.IsNotExist(err) {
+			t.Fatalf("snapshot %d not removed", lsn)
+		}
+	}
+	s, err := LoadSnapshot(dir)
+	if err != nil || s == nil || s.LSN != 15 {
+		t.Fatalf("after GC: %+v, %v; want lsn 15", s, err)
+	}
+}

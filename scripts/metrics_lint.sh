@@ -29,9 +29,11 @@ STREAM="$WORK/insertion_stream.txt"
 echo "== serve on $ADDR =="
 # -window turns on the batch-dynamic executor so the paracosm_window_*
 # counters move between the two scrapes (monotonicity is then checked on
-# live, not frozen-at-zero, series).
+# live, not frozen-at-zero, series); -wal-dir turns on the durability
+# layer so the paracosm_wal_* series are linted live too.
 "$WORK/paracosm" serve -data "$WORK/data_graph.txt" -addr "$ADDR" \
-    -threads 2 -window 8 -debug-addr "$DBG" >"$WORK/serve.out" 2>&1 &
+    -threads 2 -window 8 -wal-dir "$WORK/wal" -snapshot-every 500 \
+    -debug-addr "$DBG" >"$WORK/serve.out" 2>&1 &
 SRV_PID=$!
 
 ok=""
@@ -86,6 +88,9 @@ grep -q '^paracosm_query_updates{name="q\\"lint' "$WORK/scrape2.txt"
 # update lands in either a parallel group or a serial fallback.
 awk '/^paracosm_window_(unsafe_parallel|fallback_serial)_total /{n+=$2} END{exit n>0?0:1}' "$WORK/scrape2.txt" \
     || { echo "window counters did not move under -window traffic" >&2; exit 1; }
+# The WAL must have logged every accepted update.
+awk '/^paracosm_wal_records_total /{n=$2} END{exit n>0?0:1}' "$WORK/scrape2.txt" \
+    || { echo "paracosm_wal_records_total did not move under -wal-dir traffic" >&2; exit 1; }
 
 echo "== metricslint =="
 "$WORK/metricslint" "$WORK/scrape1.txt" "$WORK/scrape2.txt"

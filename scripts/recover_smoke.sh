@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test of the durability layer (DESIGN.md §16):
+# start `paracosm serve` with a WAL directory, stream updates one per
+# frame with always-fsync, kill the server with SIGKILL mid-stream,
+# restart it from the WAL, and require the recovered standing query's
+# totals to equal a sequential batch-CLI replay of exactly the updates
+# the server had applied (the prefix oracle). Then stream the remainder
+# and require the final totals to equal the uninterrupted full-stream
+# oracle — crash + recovery + resume must be bit-for-bit a run that
+# never crashed. Exits non-zero on any failure; CI runs this as a
+# gating step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${RECOVER_SMOKE_PORT:-17420}"
+DBG_PORT="${RECOVER_SMOKE_DEBUG_PORT:-18101}"
+ADDR="127.0.0.1:${PORT}"
+DBG="127.0.0.1:${DBG_PORT}"
+WORK="$(mktemp -d)"
+trap 'kill -9 "${CLI_PID:-}" "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== gendata =="
+go run ./cmd/gendata -out "$WORK" -scale 0.001
+
+echo "== build =="
+go build -o "$WORK/paracosm" ./cmd/paracosm
+QUERY="$(ls "$WORK"/query_*.txt | head -1)"
+# Pure update lines, so "N applied updates" == the first N lines.
+grep -v -e '^#' -e '^[[:space:]]*$' "$WORK/insertion_stream.txt" >"$WORK/stream.txt"
+STREAM="$WORK/stream.txt"
+TOTAL="$(wc -l <"$STREAM")"
+WALDIR="$WORK/wal"
+
+echo "== full-stream sequential oracle =="
+"$WORK/paracosm" \
+    -data "$WORK/data_graph.txt" -query "$QUERY" -stream "$STREAM" \
+    -algo GraphFlow -threads 1 -inter=false >"$WORK/oracle_full.out"
+ORACLE_FULL="$(sed -n 's/^matches *: \(+[0-9]* \/ -[0-9]*\).*/\1/p' "$WORK/oracle_full.out")"
+echo "full oracle ($TOTAL updates): $ORACLE_FULL"
+
+wait_healthy() {
+    local pid="$1" out="$2"
+    for _ in $(seq 1 120); do
+        if curl -sf "http://$DBG/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "serve exited before becoming healthy:" >&2
+            cat "$out" >&2
+            return 1
+        fi
+        sleep 0.5
+    done
+    echo "serve never became healthy" >&2
+    cat "$out" >&2
+    return 1
+}
+
+echo "== serve on $ADDR (wal-dir, fsync always) =="
+"$WORK/paracosm" serve -data "$WORK/data_graph.txt" -addr "$ADDR" \
+    -wal-dir "$WALDIR" -fsync always -snapshot-every 150 \
+    -threads 2 -debug-addr "$DBG" >"$WORK/serve1.out" 2>&1 &
+SRV_PID=$!
+wait_healthy "$SRV_PID" "$WORK/serve1.out"
+
+echo "== client streams one update per frame =="
+# -chunk 1: every update is its own request, so the kill lands between
+# single-update batches and the applied prefix is a clean line count.
+"$WORK/paracosm" client -addr "$ADDR" -name smoke -algo GraphFlow \
+    -query "$QUERY" -stream "$STREAM" -chunk 1 \
+    >"$WORK/client1.out" 2>&1 &
+CLI_PID=$!
+
+echo "== wait for mid-stream, then SIGKILL =="
+KILL_AT=$((TOTAL / 3))
+[ "$KILL_AT" -gt 150 ] || KILL_AT=150
+ok=""
+for _ in $(seq 1 600); do
+    ING="$(curl -s "http://$DBG/metrics" 2>/dev/null \
+        | sed -n 's/^paracosm_server_updates_ingested_total \([0-9][0-9]*\)$/\1/p')"
+    if [ "${ING:-0}" -ge "$KILL_AT" ]; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$CLI_PID" 2>/dev/null; then
+        # The client finished the whole stream before we could kill —
+        # dataset too small to crash mid-stream.
+        echo "client finished before reaching $KILL_AT ingested updates" >&2
+        cat "$WORK/client1.out" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "never reached $KILL_AT ingested updates" >&2; exit 1; }
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+# The client dies with the connection; its exit code is expected noise.
+wait "$CLI_PID" 2>/dev/null || true
+CLI_PID=""
+echo "killed server after >= $KILL_AT ingested updates"
+
+ls -l "$WALDIR"
+
+echo "== restart from the WAL (no -data) =="
+"$WORK/paracosm" serve -addr "$ADDR" \
+    -wal-dir "$WALDIR" -fsync always -snapshot-every 150 \
+    -threads 2 -debug-addr "$DBG" >"$WORK/serve2.out" 2>&1 &
+SRV_PID=$!
+wait_healthy "$SRV_PID" "$WORK/serve2.out"
+
+echo "== recovered standing query =="
+curl -s "http://$DBG/queries" | tee "$WORK/queries.json"
+grep -q '"name": "smoke"' "$WORK/queries.json"
+U="$(sed -n 's/^ *"updates": \([0-9][0-9]*\),$/\1/p' "$WORK/queries.json" | head -1)"
+POS="$(sed -n 's/^ *"positive": \([0-9][0-9]*\),$/\1/p' "$WORK/queries.json" | head -1)"
+NEG="$(sed -n 's/^ *"negative": \([0-9][0-9]*\),$/\1/p' "$WORK/queries.json" | head -1)"
+echo "recovered: $U updates, +$POS / -$NEG"
+[ "${U:-0}" -ge "$KILL_AT" ] || { echo "recovered fewer updates ($U) than observed ingested ($KILL_AT)" >&2; exit 1; }
+[ "$U" -lt "$TOTAL" ] || { echo "server applied the whole stream before the kill; not a mid-stream crash" >&2; exit 1; }
+
+echo "== prefix oracle: sequential replay of the first $U updates =="
+head -n "$U" "$STREAM" >"$WORK/prefix.txt"
+"$WORK/paracosm" \
+    -data "$WORK/data_graph.txt" -query "$QUERY" -stream "$WORK/prefix.txt" \
+    -algo GraphFlow -threads 1 -inter=false >"$WORK/oracle_prefix.out"
+ORACLE_PREFIX="$(sed -n 's/^matches *: \(+[0-9]* \/ -[0-9]*\).*/\1/p' "$WORK/oracle_prefix.out")"
+if [ "+$POS / -$NEG" != "$ORACLE_PREFIX" ]; then
+    echo "recovered totals '+$POS / -$NEG' != prefix oracle '$ORACLE_PREFIX'" >&2
+    exit 1
+fi
+echo "recovered totals match the prefix oracle: $ORACLE_PREFIX"
+
+echo "== wal metrics and snapshot on disk =="
+# Right after recovery: the replay counters moved, the append counters
+# (records/fsyncs, counted since open) have not yet.
+curl -s "http://$DBG/metrics" | tee "$WORK/metrics.txt" | grep '^paracosm_wal_' || true
+for series in paracosm_wal_replayed_records_total paracosm_wal_last_lsn; do
+    VAL="$(sed -n "s/^$series \([0-9][0-9]*\)\$/\1/p" "$WORK/metrics.txt")"
+    if [ "${VAL:-0}" -le 0 ]; then
+        echo "$series is ${VAL:-missing}, want > 0" >&2
+        exit 1
+    fi
+done
+ls "$WALDIR"/*.pcsnap >/dev/null || { echo "no snapshot file in $WALDIR" >&2; exit 1; }
+
+echo "== stream the remaining $((TOTAL - U)) updates =="
+tail -n "+$((U + 1))" "$STREAM" >"$WORK/tail.txt"
+"$WORK/paracosm" client -addr "$ADDR" -stream "$WORK/tail.txt" >"$WORK/client2.out" 2>&1
+cat "$WORK/client2.out"
+
+echo "== final totals must equal the uninterrupted full-stream oracle =="
+curl -s "http://$DBG/queries" >"$WORK/queries2.json"
+U2="$(sed -n 's/^ *"updates": \([0-9][0-9]*\),$/\1/p' "$WORK/queries2.json" | head -1)"
+POS2="$(sed -n 's/^ *"positive": \([0-9][0-9]*\),$/\1/p' "$WORK/queries2.json" | head -1)"
+NEG2="$(sed -n 's/^ *"negative": \([0-9][0-9]*\),$/\1/p' "$WORK/queries2.json" | head -1)"
+if [ "$U2" != "$TOTAL" ]; then
+    echo "final update count $U2 != stream length $TOTAL" >&2
+    exit 1
+fi
+if [ "+$POS2 / -$NEG2" != "$ORACLE_FULL" ]; then
+    echo "final totals '+$POS2 / -$NEG2' != full oracle '$ORACLE_FULL'" >&2
+    exit 1
+fi
+echo "crash + recovery + resume == uninterrupted run: $ORACLE_FULL"
+
+echo "== wal append counters moved under the tail traffic =="
+curl -s "http://$DBG/metrics" >"$WORK/metrics2.txt"
+for series in paracosm_wal_records_total paracosm_wal_fsyncs_total paracosm_wal_snapshots_total; do
+    VAL="$(sed -n "s/^$series \([0-9][0-9]*\)\$/\1/p" "$WORK/metrics2.txt")"
+    if [ "${VAL:-0}" -le 0 ]; then
+        echo "$series is ${VAL:-missing}, want > 0" >&2
+        exit 1
+    fi
+done
+
+echo "== graceful shutdown (SIGTERM) =="
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
+grep -q 'shutting down' "$WORK/serve2.out"
+
+echo "recover smoke OK"
